@@ -1,0 +1,90 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation from the simulated stack.
+//
+// Usage:
+//
+//	experiments [-scale quick|full] [-only fig3,fig9] [-csv DIR] [-list]
+//
+// With -csv DIR each experiment's series are written to DIR/<id>.csv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"msgroofline/internal/experiments"
+	"msgroofline/internal/plot"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	csvDir := flag.String("csv", "", "directory to write per-experiment CSV series")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q (want quick or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	selected := experiments.Registry()
+	if *only != "" {
+		selected = selected[:0]
+		for _, id := range strings.Split(*only, ",") {
+			e, err := experiments.Get(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	for _, e := range selected {
+		start := time.Now()
+		out, err := e.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(out.Render())
+		fmt.Printf("(%s regenerated in %v wall time)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" && len(out.Series) > 0 {
+			path := filepath.Join(*csvDir, out.ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := plot.WriteCSV(f, out.Series); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+}

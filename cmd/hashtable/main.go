@@ -1,0 +1,77 @@
+// Command hashtable runs the distributed hashtable workload with the
+// CLI shape of the paper's benchmark ("./hashtable <inserts per
+// process>", Appendix G), plus machine/variant flags.
+//
+//	hashtable -machine perlmutter-gpu -variant gpu -ranks 4 250000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"msgroofline/internal/hashtable"
+	"msgroofline/internal/machine"
+)
+
+func main() {
+	mName := flag.String("machine", "perlmutter-cpu", "machine configuration")
+	variant := flag.String("variant", "one-sided", "one-sided, two-sided, or gpu")
+	ranks := flag.Int("ranks", 4, "MPI ranks / GPU PEs")
+	blocks := flag.Int("blocks", 0, "GPU thread-block concurrency (gpu variant)")
+	flag.Parse()
+
+	perProcess := 2500
+	if args := flag.Args(); len(args) == 1 {
+		v, err := strconv.Atoi(args[0])
+		if err != nil {
+			fatal(fmt.Errorf("bad insert count %q", args[0]))
+		}
+		perProcess = v
+	} else if len(args) > 1 {
+		fmt.Fprintln(os.Stderr, "usage: hashtable [flags] [inserts-per-process]")
+		os.Exit(2)
+	}
+	cfg := hashtable.Config{
+		Ranks:        *ranks,
+		TotalInserts: perProcess * *ranks,
+		Blocks:       *blocks,
+	}
+	mcfg, err := machine.Get(*mName)
+	if err != nil {
+		fatal(err)
+	}
+	var res *hashtable.Result
+	switch *variant {
+	case "one-sided":
+		res, err = hashtable.RunOneSided(mcfg, cfg)
+	case "two-sided":
+		res, err = hashtable.RunTwoSided(mcfg, cfg)
+	case "gpu":
+		res, err = hashtable.RunGPU(mcfg, cfg)
+	default:
+		fatal(fmt.Errorf("unknown variant %q", *variant))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("machine=%s variant=%s ranks=%d inserts=%d (per process %d)\n",
+		mcfg.Name, *variant, res.Ranks, cfg.TotalInserts, perProcess)
+	fmt.Printf("time          %v\n", res.Elapsed)
+	fmt.Printf("per insert    %v\n", res.PerInsert)
+	fmt.Printf("updates/s     %.0f (%.6f GUPS)\n", res.UpdatesPerSec, res.GUPS)
+	fmt.Printf("collisions    %d\n", res.Collisions)
+	if res.Atomics > 0 {
+		fmt.Printf("remote atomics %d\n", res.Atomics)
+	}
+	if res.Comm.Messages > 0 {
+		fmt.Printf("communication %s\n", res.Comm)
+	}
+	fmt.Println("verification OK (table contents checked against generated keys)")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hashtable:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,129 @@
+// Command msgroof runs the Message Roofline microbenchmarks on a
+// simulated machine and renders the roofline chart with measured dots
+// and fitted ceilings (the Figs 1/3/4 machinery, interactively).
+//
+// Usage:
+//
+//	msgroof -machine perlmutter-cpu -transport two-sided
+//	msgroof -machine perlmutter-gpu -transport gpu-shmem -csv out.csv
+//	msgroof -machine perlmutter-gpu -split          (Fig 10 experiment)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"msgroofline/internal/bench"
+	"msgroofline/internal/core"
+	"msgroofline/internal/loggp"
+	"msgroofline/internal/machine"
+	"msgroofline/internal/plot"
+	"msgroofline/internal/table"
+)
+
+func main() {
+	mName := flag.String("machine", "perlmutter-cpu", "machine: "+strings.Join(machine.Names(), ", "))
+	tName := flag.String("transport", "two-sided", "transport: two-sided, one-sided, one-sided-strict, gpu-shmem")
+	split := flag.Bool("split", false, "run the Fig-10 message-splitting experiment instead of a sweep")
+	csvPath := flag.String("csv", "", "write measured series to this CSV file")
+	flag.Parse()
+
+	cfg, err := machine.Get(*mName)
+	if err != nil {
+		fatal(err)
+	}
+	if *split {
+		runSplit(cfg, *csvPath)
+		return
+	}
+	ns := bench.DefaultNs()
+	sizes := bench.DefaultSizes()
+	var res *bench.Result
+	var tr machine.Transport
+	switch *tName {
+	case "two-sided":
+		tr = machine.TwoSided
+		res, err = bench.SweepTwoSided(cfg, 2, ns, sizes)
+	case "one-sided":
+		tr = machine.OneSided
+		res, err = bench.SweepOneSided(cfg, 2, ns, sizes)
+	case "one-sided-strict":
+		tr = machine.OneSided
+		res, err = bench.SweepOneSidedStrict(cfg, 2, ns, sizes)
+	case "gpu-shmem":
+		tr = machine.GPUShmem
+		res, err = bench.SweepShmemPutSignal(cfg, 2, ns, sizes)
+	default:
+		fatal(fmt.Errorf("unknown transport %q", *tName))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	tp, ok := cfg.Params(tr)
+	if !ok {
+		fatal(fmt.Errorf("machine %s lacks transport %v", cfg.Name, tr))
+	}
+	model, err := core.Fit(fmt.Sprintf("%s %s (fitted)", cfg.Name, *tName),
+		res.Samples(), tp.OpsPerMsg, tp.Gap, cfg.TheoreticalGBs)
+	if err != nil {
+		fatal(err)
+	}
+	chart := plot.Chart{
+		Title:  fmt.Sprintf("Message Roofline — %s %s", cfg.Title, *tName),
+		XLabel: "message size (bytes)", YLabel: "GB/s", XLog: true, YLog: true,
+	}
+	for _, n := range ns {
+		chart.Add(model.CeilingSeries(n, sizes))
+	}
+	chart.Series = append(chart.Series, res.Series()...)
+	fmt.Println(chart.Render())
+	fmt.Printf("fitted %v  (RMS rel. err %.3f)\n", model.Params, loggp.FitError(model.Params, res.Samples()))
+	fmt.Printf("peak measured %.2f GB/s of %.0f GB/s theoretical\n", res.MaxGBs(), cfg.TheoreticalGBs)
+	writeCSV(*csvPath, res.Series())
+}
+
+func runSplit(cfg *machine.Config, csvPath string) {
+	var volumes []int64
+	for v := int64(1 << 10); v <= 4<<20; v *= 2 {
+		volumes = append(volumes, v)
+	}
+	pts, err := bench.SweepSplit(cfg, 4, volumes)
+	if err != nil {
+		fatal(err)
+	}
+	t := table.New(fmt.Sprintf("Message splitting on %s (4-way)", cfg.Title),
+		"volume (B)", "whole (us)", "split (us)", "speedup")
+	ser := plot.Series{Name: "4-way split speedup"}
+	for _, p := range pts {
+		t.AddRow(fmt.Sprint(p.Volume),
+			fmt.Sprintf("%.2f", p.Whole.Microseconds()),
+			fmt.Sprintf("%.2f", p.Split.Microseconds()),
+			fmt.Sprintf("%.2f", p.Speedup))
+		ser.X = append(ser.X, float64(p.Volume))
+		ser.Y = append(ser.Y, p.Speedup)
+	}
+	fmt.Println(t.Render())
+	writeCSV(csvPath, []plot.Series{ser})
+}
+
+func writeCSV(path string, series []plot.Series) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := plot.WriteCSV(f, series); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "msgroof:", err)
+	os.Exit(1)
+}

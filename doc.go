@@ -1,0 +1,17 @@
+// Package msgroofline is a full reproduction, in pure Go, of
+// "Evaluating the Performance of One-sided Communication on CPUs and
+// GPUs" (Ding, Haseeb, Groves, Williams — SC 2023): the Message
+// Roofline Model, a discrete-event simulation of the paper's five
+// evaluation platforms, simulated two-sided and one-sided MPI and an
+// NVSHMEM-style GPU layer, and the three workloads (Stencil, SpTRSV,
+// Distributed HashTable) that the paper evaluates.
+//
+// Start with examples/quickstart, or regenerate every table and
+// figure with:
+//
+//	go run ./cmd/experiments -scale quick
+//
+// See README.md for the architecture overview, DESIGN.md for the
+// system inventory and per-experiment index, and EXPERIMENTS.md for
+// paper-vs-measured results.
+package msgroofline

@@ -1,0 +1,83 @@
+// DAG solve walkthrough: generate a synthetic supernodal factor,
+// inspect its elimination DAG, run the distributed sparse triangular
+// solve under all three communication designs, and verify every
+// solution against the serial reference — the SpTRSV (§III-B) story
+// end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"msgroofline/internal/machine"
+	"msgroofline/internal/spmat"
+	"msgroofline/internal/sptrsv"
+)
+
+func main() {
+	// 1. Generate the factor (a scaled M3D-C1 stand-in).
+	m, err := spmat.Generate(spmat.Params{N: 4800, MeanSnode: 30, Fill: 1.0, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	levels := m.Levels()
+	sizes := m.MsgBytes()
+	var minB, maxB int64 = sizes[0], sizes[0]
+	for _, s := range sizes {
+		if s < minB {
+			minB = s
+		}
+		if s > maxB {
+			maxB = s
+		}
+	}
+	fmt.Printf("factor: %d x %d, %d supernodes, %d nnz\n", m.N, m.N, m.NumSupernodes(), m.NNZ())
+	fmt.Printf("elimination DAG: %d edges, %d levels, messages %d-%d bytes\n\n",
+		m.Edges(), len(levels), minB, maxB)
+
+	// 2. Reference solution.
+	b := sptrsv.Rhs(m.N)
+	want, err := m.SolveSerial(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Distributed solves.
+	pm, _ := machine.Get("perlmutter-cpu")
+	pg, _ := machine.Get("perlmutter-gpu")
+	runs := []struct {
+		name string
+		run  func() (*sptrsv.Result, error)
+	}{
+		{"two-sided, 16 CPU ranks", func() (*sptrsv.Result, error) {
+			return sptrsv.RunTwoSided(sptrsv.Config{Machine: pm, Matrix: m, Ranks: 16})
+		}},
+		{"one-sided, 16 CPU ranks", func() (*sptrsv.Result, error) {
+			return sptrsv.RunOneSided(sptrsv.Config{Machine: pm, Matrix: m, Ranks: 16})
+		}},
+		{"nvshmem,   4 GPUs      ", func() (*sptrsv.Result, error) {
+			return sptrsv.RunGPU(sptrsv.Config{Machine: pg, Matrix: m, Ranks: 4})
+		}},
+	}
+	for _, r := range runs {
+		res, err := r.run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		worst := 0.0
+		for i := range want {
+			if d := math.Abs(res.X[i] - want[i]); d > worst {
+				worst = d
+			}
+		}
+		status := "OK"
+		if worst > 1e-9 {
+			status = fmt.Sprintf("FAILED (dev %.3g)", worst)
+		}
+		fmt.Printf("%s  solve %12v  %4d msgs (%s)  verify %s\n",
+			r.name, res.Elapsed, res.Comm.Messages, res.Comm.String(), status)
+	}
+	fmt.Println("\nObservation (paper §III-B): one-sided SpTRSV pays 4 MPI ops per message")
+	fmt.Println("plus the Listing-1 receiver polling, so it trails two-sided on CPUs.")
+}

@@ -1,0 +1,3 @@
+module msgroofline
+
+go 1.22

@@ -1,0 +1,431 @@
+// Package bench is the microbenchmark harness behind the paper's
+// bandwidth figures: sustained bandwidth as a function of message
+// size and messages per synchronization for two-sided MPI, one-sided
+// MPI, and GPU-initiated put-with-signal (Figs 1, 3, 4), atomic
+// compare-and-swap latencies (§III-C), and the message-splitting
+// experiment (Fig 10). Every point is measured by running the actual
+// simulated stack, exactly as the paper measured its dots on real
+// machines; the fitted LogGP parameters then draw the ceilings.
+package bench
+
+import (
+	"fmt"
+
+	"msgroofline/internal/loggp"
+	"msgroofline/internal/machine"
+	"msgroofline/internal/mpi"
+	"msgroofline/internal/plot"
+	"msgroofline/internal/shmem"
+	"msgroofline/internal/sim"
+)
+
+// Point is one measured sweep sample: a window of N messages of Bytes
+// each completed in Elapsed, achieving GBs of sustained bandwidth.
+type Point struct {
+	N       int
+	Bytes   int64
+	Elapsed sim.Time
+	GBs     float64
+}
+
+// Result is a sweep on one machine/transport.
+type Result struct {
+	Machine   string
+	Transport string
+	Points    []Point
+}
+
+// DefaultNs is the msg/sync sweep used by the figures.
+func DefaultNs() []int { return []int{1, 4, 16, 64, 256, 1024} }
+
+// DefaultSizes is the message-size sweep (8 B .. 1 MiB).
+func DefaultSizes() []int64 {
+	var out []int64
+	for b := int64(8); b <= 1<<20; b *= 4 {
+		out = append(out, b)
+	}
+	return out
+}
+
+func point(n int, b int64, elapsed sim.Time) Point {
+	p := Point{N: n, Bytes: b, Elapsed: elapsed}
+	if elapsed > 0 {
+		p.GBs = float64(n) * float64(b) / elapsed.Seconds() / 1e9
+	}
+	return p
+}
+
+// farPair picks the representative communicating pair on a machine:
+// the first rank and the last, which the catalog places on different
+// sockets/islands whenever the machine has more than one.
+func farPair(ranks int) (int, int) { return 0, ranks - 1 }
+
+// SweepTwoSided measures a two-sided MPI window: the receiver posts N
+// nonblocking receives, the sender issues N nonblocking sends, and
+// the window closes at the receiver's Waitall. Both ranks synchronize
+// on a barrier before timing.
+func SweepTwoSided(cfg *machine.Config, ranks int, ns []int, sizes []int64) (*Result, error) {
+	res := &Result{Machine: cfg.Name, Transport: machine.TwoSided.String()}
+	src, dst := farPair(ranks)
+	for _, n := range ns {
+		for _, b := range sizes {
+			var elapsed sim.Time
+			c, err := mpi.NewComm(cfg, ranks)
+			if err != nil {
+				return nil, err
+			}
+			n, b := n, b
+			err = c.Launch(func(r *mpi.Rank) {
+				switch r.Rank() {
+				case src:
+					r.Barrier()
+					payload := make([]byte, b)
+					for i := 0; i < n; i++ {
+						r.Isend(dst, i, payload)
+					}
+				case dst:
+					reqs := make([]*mpi.Request, n)
+					for i := 0; i < n; i++ {
+						reqs[i] = r.Irecv(src, i)
+					}
+					r.Barrier()
+					start := r.Now()
+					r.Waitall(reqs)
+					elapsed = r.Now() - start
+				default:
+					r.Barrier()
+				}
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: two-sided %s n=%d B=%d: %w", cfg.Name, n, b, err)
+			}
+			res.Points = append(res.Points, point(n, b, elapsed))
+		}
+	}
+	return res, nil
+}
+
+// SweepOneSided measures a one-sided MPI window using the paper's
+// operation budget of four one-sided calls per message: for each
+// message a Put of the data, a local flush, a Put of the signal word,
+// and a local flush; the window closes with remote flushes and the
+// receiver observing every signal (its Listing-1 acknowledgment loop
+// is exercised by the SpTRSV workload; here the origin-side flush
+// bounds the window as in the flood-style sweep).
+func SweepOneSided(cfg *machine.Config, ranks int, ns []int, sizes []int64) (*Result, error) {
+	res := &Result{Machine: cfg.Name, Transport: machine.OneSided.String()}
+	src, dst := farPair(ranks)
+	for _, n := range ns {
+		for _, b := range sizes {
+			var elapsed sim.Time
+			c, err := mpi.NewComm(cfg, ranks)
+			if err != nil {
+				return nil, err
+			}
+			data, err := c.NewWin(int(b))
+			if err != nil {
+				return nil, err
+			}
+			sig, err := c.NewWin(8 * n)
+			if err != nil {
+				return nil, err
+			}
+			n, b := n, b
+			one := []byte{1, 0, 0, 0, 0, 0, 0, 0}
+			err = c.Launch(func(r *mpi.Rank) {
+				if r.Rank() != src {
+					r.Barrier()
+					return
+				}
+				r.Barrier()
+				payload := make([]byte, b)
+				start := r.Now()
+				for i := 0; i < n; i++ {
+					r.Put(data, dst, 0, payload)
+					r.FlushLocal(data, dst)
+					r.Put(sig, dst, 8*i, one)
+					r.FlushLocal(sig, dst)
+				}
+				r.Flush(data, dst)
+				r.Flush(sig, dst)
+				elapsed = r.Now() - start
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: one-sided %s n=%d B=%d: %w", cfg.Name, n, b, err)
+			}
+			res.Points = append(res.Points, point(n, b, elapsed))
+		}
+	}
+	return res, nil
+}
+
+// SweepOneSidedStrict measures the strict per-message 4-op protocol
+// (Put, Flush, Put(signal), Flush — every flush waiting for remote
+// completion) that SpTRSV must use for per-message notification. This
+// is the 5 us/message cost of Fig 6b and the reason one-sided SpTRSV
+// loses (§III-B).
+func SweepOneSidedStrict(cfg *machine.Config, ranks int, ns []int, sizes []int64) (*Result, error) {
+	res := &Result{Machine: cfg.Name, Transport: "one-sided-strict"}
+	src, dst := farPair(ranks)
+	for _, n := range ns {
+		for _, b := range sizes {
+			var elapsed sim.Time
+			c, err := mpi.NewComm(cfg, ranks)
+			if err != nil {
+				return nil, err
+			}
+			data, err := c.NewWin(int(b))
+			if err != nil {
+				return nil, err
+			}
+			sig, err := c.NewWin(8 * n)
+			if err != nil {
+				return nil, err
+			}
+			n, b := n, b
+			one := []byte{1, 0, 0, 0, 0, 0, 0, 0}
+			err = c.Launch(func(r *mpi.Rank) {
+				if r.Rank() != src {
+					r.Barrier()
+					return
+				}
+				r.Barrier()
+				payload := make([]byte, b)
+				start := r.Now()
+				for i := 0; i < n; i++ {
+					r.Put(data, dst, 0, payload)
+					r.Flush(data, dst)
+					r.Put(sig, dst, 8*i, one)
+					r.Flush(sig, dst)
+				}
+				elapsed = r.Now() - start
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: strict one-sided %s n=%d B=%d: %w", cfg.Name, n, b, err)
+			}
+			res.Points = append(res.Points, point(n, b, elapsed))
+		}
+	}
+	return res, nil
+}
+
+// SweepShmemPutSignal measures GPU-initiated put-with-signal windows
+// (Fig 4): the sender PE issues N fused put+signal operations, the
+// receiver waits until all N signals land, and the window closes at
+// the receiver.
+func SweepShmemPutSignal(cfg *machine.Config, npes int, ns []int, sizes []int64) (*Result, error) {
+	res := &Result{Machine: cfg.Name, Transport: machine.GPUShmem.String()}
+	src, dst := farPair(npes)
+	for _, n := range ns {
+		for _, b := range sizes {
+			var elapsed sim.Time
+			heap := int(b) + 8*n + 64
+			j, err := shmem.NewJob(cfg, npes, heap)
+			if err != nil {
+				return nil, err
+			}
+			n, b := n, b
+			err = j.Launch(func(c *shmem.Ctx) {
+				switch c.MyPE() {
+				case src:
+					c.Barrier()
+					payload := make([]byte, b)
+					for i := 0; i < n; i++ {
+						c.PutSignalNBI(dst, 0, payload, int(b)+8*i, 1)
+					}
+					c.Quiet()
+				case dst:
+					sigs := make([]int, n)
+					for i := range sigs {
+						sigs[i] = int(b) + 8*i
+					}
+					c.Barrier()
+					start := c.Now()
+					c.WaitUntilAll(sigs, 1)
+					elapsed = c.Now() - start
+				default:
+					c.Barrier()
+				}
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: shmem %s n=%d B=%d: %w", cfg.Name, n, b, err)
+			}
+			res.Points = append(res.Points, point(n, b, elapsed))
+		}
+	}
+	return res, nil
+}
+
+// CASLatency measures the round-trip time of a GPU atomic
+// compare-and-swap from PE 0 to dst (Fig 4 / §III-C), averaged over
+// reps back-to-back operations.
+func CASLatency(cfg *machine.Config, npes, dst, reps int) (sim.Time, error) {
+	j, err := shmem.NewJob(cfg, npes, 64)
+	if err != nil {
+		return 0, err
+	}
+	var total sim.Time
+	err = j.Launch(func(c *shmem.Ctx) {
+		if c.MyPE() != 0 {
+			return
+		}
+		start := c.Now()
+		for i := 0; i < reps; i++ {
+			c.AtomicCompareSwap(dst, 0, uint64(i), uint64(i+1))
+		}
+		total = c.Now() - start
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total / sim.Time(reps), nil
+}
+
+// OneSidedCASLatency measures the CPU one-sided MPI_Compare_and_swap
+// round trip (the 2 us / 500K GUPS figure of §III-C).
+func OneSidedCASLatency(cfg *machine.Config, ranks, dst, reps int) (sim.Time, error) {
+	c, err := mpi.NewComm(cfg, ranks)
+	if err != nil {
+		return 0, err
+	}
+	w, err := c.NewWin(64)
+	if err != nil {
+		return 0, err
+	}
+	var total sim.Time
+	err = c.Launch(func(r *mpi.Rank) {
+		if r.Rank() != 0 {
+			return
+		}
+		start := r.Now()
+		for i := 0; i < reps; i++ {
+			r.CompareAndSwap(w, dst, 0, uint64(i), uint64(i+1))
+		}
+		total = r.Now() - start
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total / sim.Time(reps), nil
+}
+
+// SplitPoint is one Fig-10 measurement: a message volume sent whole
+// vs split into `Parts` channel-pinned sub-messages.
+type SplitPoint struct {
+	Volume  int64
+	Whole   sim.Time
+	Split   sim.Time
+	Speedup float64
+}
+
+// SweepSplit measures the Fig-10 experiment on a GPU machine: for
+// each volume, send it as one put-with-signal versus `parts` puts on
+// distinct injection channels, receiver waiting for all signals.
+func SweepSplit(cfg *machine.Config, parts int, volumes []int64) ([]SplitPoint, error) {
+	var out []SplitPoint
+	for _, v := range volumes {
+		whole, err := splitRun(cfg, v, 1)
+		if err != nil {
+			return nil, err
+		}
+		split, err := splitRun(cfg, v, parts)
+		if err != nil {
+			return nil, err
+		}
+		sp := SplitPoint{Volume: v, Whole: whole, Split: split}
+		if split > 0 {
+			sp.Speedup = float64(whole) / float64(split)
+		}
+		out = append(out, sp)
+	}
+	return out, nil
+}
+
+func splitRun(cfg *machine.Config, volume int64, parts int) (sim.Time, error) {
+	var elapsed sim.Time
+	heap := int(volume) + 8*parts + 64
+	j, err := shmem.NewJob(cfg, 2, heap)
+	if err != nil {
+		return 0, err
+	}
+	err = j.Launch(func(c *shmem.Ctx) {
+		switch c.MyPE() {
+		case 0:
+			c.Barrier()
+			per := volume / int64(parts)
+			for i := 0; i < parts; i++ {
+				sz := per
+				if i == parts-1 {
+					sz = volume - per*int64(parts-1)
+				}
+				c.PutSignalNBICh(1, int(per)*i, make([]byte, sz), int(volume)+8*i, 1, i)
+			}
+			c.Quiet()
+		case 1:
+			sigs := make([]int, parts)
+			for i := range sigs {
+				sigs[i] = int(volume) + 8*i
+			}
+			c.Barrier()
+			start := c.Now()
+			c.WaitUntilAll(sigs, 1)
+			elapsed = c.Now() - start
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return elapsed, nil
+}
+
+// Samples converts measured points into fitter input.
+func (r *Result) Samples() []loggp.Sample {
+	out := make([]loggp.Sample, len(r.Points))
+	for i, p := range r.Points {
+		out[i] = loggp.Sample{N: p.N, Bytes: p.Bytes, Elapsed: p.Elapsed}
+	}
+	return out
+}
+
+// Series groups the points into one plot series per msg/sync value
+// (x = message size, y = GB/s), the layout of Figs 1, 3 and 4.
+func (r *Result) Series() []plot.Series {
+	byN := map[int]*plot.Series{}
+	var order []int
+	for _, p := range r.Points {
+		s, ok := byN[p.N]
+		if !ok {
+			s = &plot.Series{Name: fmt.Sprintf("%s %d msg/sync", r.Transport, p.N)}
+			byN[p.N] = s
+			order = append(order, p.N)
+		}
+		s.X = append(s.X, float64(p.Bytes))
+		s.Y = append(s.Y, p.GBs)
+	}
+	out := make([]plot.Series, 0, len(order))
+	for _, n := range order {
+		out = append(out, plot.SortedByX(*byN[n]))
+	}
+	return out
+}
+
+// MaxGBs returns the best bandwidth in the sweep.
+func (r *Result) MaxGBs() float64 {
+	best := 0.0
+	for _, p := range r.Points {
+		if p.GBs > best {
+			best = p.GBs
+		}
+	}
+	return best
+}
+
+// At returns the measured point for (n, bytes), ok=false if absent.
+func (r *Result) At(n int, bytes int64) (Point, bool) {
+	for _, p := range r.Points {
+		if p.N == n && p.Bytes == bytes {
+			return p, true
+		}
+	}
+	return Point{}, false
+}

@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"testing"
+
+	"msgroofline/internal/loggp"
+	"msgroofline/internal/machine"
+	"msgroofline/internal/sim"
+)
+
+func cfg(t *testing.T, name string) *machine.Config {
+	t.Helper()
+	c, err := machine.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestTwoSidedSweepShape(t *testing.T) {
+	r, err := SweepTwoSided(cfg(t, "perlmutter-cpu"), 2, []int{1, 16, 256}, []int64{8, 4096, 262144})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 9 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Bandwidth grows with msg/sync at fixed size (latency overlap).
+	p1, _ := r.At(1, 8)
+	p256, _ := r.At(256, 8)
+	if p256.GBs <= p1.GBs {
+		t.Fatalf("no overlap gain: n=1 %.3f vs n=256 %.3f GB/s", p1.GBs, p256.GBs)
+	}
+	// Bandwidth grows with size at fixed n.
+	s8, _ := r.At(16, 8)
+	s256k, _ := r.At(16, 262144)
+	if s256k.GBs <= s8.GBs {
+		t.Fatal("no size scaling")
+	}
+	// Large windows of large messages approach (but never exceed) IF peak.
+	best := r.MaxGBs()
+	if best < 20 || best > 32.1 {
+		t.Fatalf("peak sweep bandwidth = %.1f GB/s, want near 32", best)
+	}
+}
+
+func TestTwoSidedSingleMessageLatency(t *testing.T) {
+	r, err := SweepTwoSided(cfg(t, "perlmutter-cpu"), 2, []int{1}, []int64{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	el := r.Points[0].Elapsed.Microseconds()
+	// Measured from the receiver's Waitall: ~soft+wire latency.
+	if el < 2.0 || el > 4.5 {
+		t.Fatalf("1-msg window = %.2fus", el)
+	}
+}
+
+func TestOneSidedBeatsTwoSidedAtHighConcurrency(t *testing.T) {
+	// Fig 3a: on Cray MPI, one-sided overtakes two-sided as msg/sync
+	// grows.
+	pm := cfg(t, "perlmutter-cpu")
+	ns := []int{1, 256}
+	sizes := []int64{64}
+	two, err := SweepTwoSided(pm, 2, ns, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := SweepOneSided(pm, 2, ns, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _ := two.At(256, 64)
+	t1, _ := one.At(256, 64)
+	if t1.GBs <= t2.GBs {
+		t.Fatalf("at 256 msg/sync one-sided %.4f should beat two-sided %.4f GB/s", t1.GBs, t2.GBs)
+	}
+}
+
+func TestSpectrumOneSidedAlwaysWorse(t *testing.T) {
+	// Fig 3c: Summit Spectrum MPI one-sided is consistently below
+	// two-sided.
+	sm := cfg(t, "summit-cpu")
+	ns := []int{1, 16, 256}
+	sizes := []int64{8, 4096, 262144}
+	two, err := SweepTwoSided(sm, 2, ns, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := SweepOneSided(sm, 2, ns, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range ns {
+		for _, b := range sizes {
+			p2, _ := two.At(n, b)
+			p1, _ := one.At(n, b)
+			if p1.GBs > p2.GBs*1.02 {
+				t.Fatalf("n=%d B=%d: Spectrum one-sided %.4f beats two-sided %.4f", n, b, p1.GBs, p2.GBs)
+			}
+		}
+	}
+}
+
+func TestStrictProtocolCost(t *testing.T) {
+	// Fig 6b: strict 4-op protocol costs ~5us per message and does
+	// not improve with msg/sync (each message is 2 serialized RTTs).
+	r, err := SweepOneSidedStrict(cfg(t, "perlmutter-cpu"), 2, []int{1, 16}, []int64{400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := r.At(1, 400)
+	if us := p1.Elapsed.Microseconds(); us < 4.2 || us > 6.0 {
+		t.Fatalf("strict 1-msg = %.2fus, want ~5us", us)
+	}
+	p16, _ := r.At(16, 400)
+	per := p16.Elapsed.Microseconds() / 16
+	if per < 3.5 {
+		t.Fatalf("strict per-message at n=16 = %.2fus; should not amortize below ~2 RTTs", per)
+	}
+}
+
+func TestShmemSweep(t *testing.T) {
+	r, err := SweepShmemPutSignal(cfg(t, "perlmutter-gpu"), 2, []int{1, 64}, []int64{8, 65536})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := r.At(1, 8)
+	if us := p1.Elapsed.Microseconds(); us < 3.4 || us > 4.8 {
+		t.Fatalf("GPU 1-msg = %.2fus, want ~4us", us)
+	}
+	p64, _ := r.At(64, 65536)
+	if p64.GBs < 15 {
+		t.Fatalf("GPU 64x64KiB = %.1f GB/s, want substantial", p64.GBs)
+	}
+	// GPU sustained bandwidth beats the CPU counterpart (§II).
+	cpu, err := SweepTwoSided(cfg(t, "perlmutter-cpu"), 2, []int{64}, []int64{65536})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c64, _ := cpu.At(64, 65536)
+	if p64.GBs <= c64.GBs {
+		t.Fatalf("GPU %.1f GB/s should exceed CPU %.1f GB/s", p64.GBs, c64.GBs)
+	}
+}
+
+func TestCASLatencies(t *testing.T) {
+	// Paper §III-C: Perlmutter GPU 0.8us; Summit 1.0 intra / 1.6
+	// cross; CPU one-sided ~2us.
+	pg, err := CASLatency(cfg(t, "perlmutter-gpu"), 4, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if us := pg.Microseconds(); us < 0.6 || us > 1.0 {
+		t.Fatalf("Perlmutter GPU CAS = %.2fus", us)
+	}
+	in, _ := CASLatency(cfg(t, "summit-gpu"), 6, 1, 10)
+	cross, _ := CASLatency(cfg(t, "summit-gpu"), 6, 3, 10)
+	if cross <= in {
+		t.Fatalf("cross-socket CAS (%v) should exceed in-island (%v)", cross, in)
+	}
+	cpu, err := OneSidedCASLatency(cfg(t, "perlmutter-cpu"), 2, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if us := cpu.Microseconds(); us < 1.6 || us > 2.5 {
+		t.Fatalf("CPU one-sided CAS = %.2fus, want ~2us", us)
+	}
+}
+
+func TestSweepSplitFig10(t *testing.T) {
+	volumes := []int64{1024, 16384, 131072, 1 << 20}
+	pts, err := SweepSplit(cfg(t, "perlmutter-gpu"), 4, volumes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(volumes) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Small volumes: no benefit. Large (>=131KB): ~2.9x (paper).
+	if pts[0].Speedup > 1.3 {
+		t.Fatalf("1KiB split speedup = %.2f, want ~1", pts[0].Speedup)
+	}
+	big := pts[len(pts)-1].Speedup
+	if big < 2.3 || big > 4.0 {
+		t.Fatalf("1MiB split speedup = %.2f, want ~2.9x", big)
+	}
+	at131k := pts[2].Speedup
+	if at131k < 1.5 {
+		t.Fatalf("131KiB split speedup = %.2f, want meaningful gain", at131k)
+	}
+}
+
+func TestFitFromMeasuredSweep(t *testing.T) {
+	// The measured two-sided sweep must be well explained by a LogGP
+	// fit (this is how the paper draws its ceilings).
+	r, err := SweepTwoSided(cfg(t, "perlmutter-cpu"), 2, DefaultNs(), DefaultSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := loggp.Fit(r.Samples(), 2, 50*sim.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fe := loggp.FitError(p, r.Samples()); fe > 0.35 {
+		t.Fatalf("fit RMS relative error = %.2f", fe)
+	}
+	// Fitted bandwidth near the IF link.
+	if p.Bandwidth < 24e9 || p.Bandwidth > 40e9 {
+		t.Fatalf("fitted bandwidth = %.1f GB/s", p.Bandwidth/1e9)
+	}
+	// Fitted latency in the microsecond range.
+	if p.L < sim.Microsecond || p.L > 6*sim.Microsecond {
+		t.Fatalf("fitted L = %v", p.L)
+	}
+}
+
+func TestSeriesGrouping(t *testing.T) {
+	r := &Result{Transport: "t"}
+	r.Points = []Point{
+		{N: 1, Bytes: 8, GBs: 1},
+		{N: 1, Bytes: 64, GBs: 2},
+		{N: 10, Bytes: 8, GBs: 3},
+	}
+	ss := r.Series()
+	if len(ss) != 2 {
+		t.Fatalf("series = %d", len(ss))
+	}
+	if len(ss[0].X) != 2 || len(ss[1].X) != 1 {
+		t.Fatalf("grouping wrong: %+v", ss)
+	}
+	if _, ok := r.At(5, 5); ok {
+		t.Fatal("At should miss")
+	}
+}

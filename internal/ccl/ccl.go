@@ -1,0 +1,259 @@
+// Package ccl is an NCCL/RCCL-style GPU collective communication
+// library built on the device-initiated shmem layer — the paper's
+// stated future work ("assessing other communication patterns and
+// libraries, e.g., AI applications using NCCL", §V). It implements
+// the bandwidth-optimal ring algorithms NCCL uses:
+//
+//   - ReduceScatter: P-1 ring steps, each moving 1/P of the vector;
+//   - AllGather:     P-1 ring steps;
+//   - AllReduce:     ReduceScatter + AllGather (2(P-1) steps, the
+//     classic 2·(P-1)/P bandwidth bound);
+//   - Broadcast:     pipelined ring with chunking.
+//
+// Payloads are float64 vectors. Every operation carries real data and
+// is verified in tests against a locally computed reduction.
+package ccl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"msgroofline/internal/shmem"
+)
+
+// Plan reserves the symmetric-heap region a communicator needs:
+// staging buffers for in-flight chunks and signal slots per ring
+// step. Create the plan first, size the shmem Job heap with
+// HeapBytes, then Bind.
+type Plan struct {
+	job      *shmem.Job
+	base     int // start of our heap region
+	maxElems int
+	npes     int
+
+	chunkCap int // bytes per staging slot
+	slots    int // number of staging slots
+}
+
+// NewPlan describes collectives over float64 vectors of up to
+// maxElems elements across npes PEs.
+func NewPlan(npes, maxElems int) (*Plan, error) {
+	if npes < 1 {
+		return nil, fmt.Errorf("ccl: npes = %d", npes)
+	}
+	if maxElems < 1 {
+		return nil, fmt.Errorf("ccl: maxElems = %d", maxElems)
+	}
+	chunkElems := (maxElems + npes - 1) / npes
+	return &Plan{
+		maxElems: maxElems,
+		npes:     npes,
+		chunkCap: 8 * chunkElems,
+		slots:    2 * npes, // reduce-scatter + allgather steps
+	}, nil
+}
+
+// HeapBytes is the symmetric-heap space the plan needs.
+func (p *Plan) HeapBytes() int {
+	return p.slots*p.chunkCap + 8*p.slots
+}
+
+// Bind attaches the plan to a job, claiming [base, base+HeapBytes()).
+func (p *Plan) Bind(job *shmem.Job, base int) error {
+	if job == nil {
+		return fmt.Errorf("ccl: nil job")
+	}
+	if job.NPEs() != p.npes {
+		return fmt.Errorf("ccl: plan for %d PEs bound to %d-PE job", p.npes, job.NPEs())
+	}
+	if base < 0 {
+		return fmt.Errorf("ccl: negative base offset")
+	}
+	p.job = job
+	p.base = base
+	return nil
+}
+
+func (p *Plan) stagingOff(slot int) int { return p.base + slot*p.chunkCap }
+func (p *Plan) sigOff(slot int) int     { return p.base + p.slots*p.chunkCap + 8*slot }
+
+// Ctx is one PE's handle on the communicator during a kernel.
+type Ctx struct {
+	plan *Plan
+	sc   *shmem.Ctx
+	seq  uint64
+}
+
+// NewCtx wraps a shmem context for collective calls. Each PE creates
+// one inside the Launch body and must invoke the same sequence of
+// collective operations.
+func (p *Plan) NewCtx(sc *shmem.Ctx) *Ctx {
+	return &Ctx{plan: p, sc: sc}
+}
+
+// chunkBounds splits n elements into npes contiguous chunks.
+func chunkBounds(n, npes, chunk int) (lo, hi int) {
+	per := (n + npes - 1) / npes
+	lo = chunk * per
+	hi = lo + per
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+func encode(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(f))
+	}
+	return out
+}
+
+func decodeInto(dst []float64, b []byte) {
+	for i := 0; i < len(dst) && 8*i+8 <= len(b); i++ {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+}
+
+// ReduceScatter sums the data vectors of all PEs element-wise,
+// leaving the fully reduced chunk (me+1) mod P in place, and returns
+// that chunk's bounds [lo, hi) into the original vector. data is
+// mutated: on return data[lo:hi] holds the fully reduced chunk.
+func (c *Ctx) ReduceScatter(data []float64) (lo, hi int, err error) {
+	p := c.plan
+	np := p.npes
+	if len(data) > p.maxElems {
+		return 0, 0, fmt.Errorf("ccl: vector %d exceeds plan max %d", len(data), p.maxElems)
+	}
+	me := c.sc.MyPE()
+	if np == 1 {
+		return 0, len(data), nil
+	}
+	c.seq++
+	right := (me + 1) % np
+	for step := 0; step < np-1; step++ {
+		sendChunk := (me - step + np) % np
+		recvChunk := (me - step - 1 + np) % np
+		slo, shi := chunkBounds(len(data), np, sendChunk)
+		c.sc.PutSignalNBI(right, p.stagingOff(step), encode(data[slo:shi]), p.sigOff(step), c.seq)
+		// Wait for the left neighbor's chunk for this step.
+		c.sc.WaitUntilAll([]int{p.sigOff(step)}, c.seq)
+		rlo, rhi := chunkBounds(len(data), np, recvChunk)
+		in := make([]float64, rhi-rlo)
+		decodeInto(in, c.sc.PE().Heap()[p.stagingOff(step):])
+		for i := range in {
+			data[rlo+i] += in[i]
+		}
+	}
+	c.sc.Quiet()
+	// Staging slots are reused by the next collective; make sure every
+	// PE has consumed this call's chunks before anyone moves on.
+	c.sc.Barrier()
+	// After P-1 ring steps the fully reduced chunk is (me+1) mod P.
+	lo, hi = chunkBounds(len(data), np, (me+1)%np)
+	return lo, hi, nil
+}
+
+// AllGather distributes each PE's own chunk (chunk index = PE id) of
+// data to every PE: on return the whole vector is complete everywhere.
+// Only data[ownLo:ownHi] needs to be valid on entry.
+func (c *Ctx) AllGather(data []float64) error {
+	return c.allGather(data, 0)
+}
+
+// allGather runs the ring with each PE initially owning chunk
+// (me+shift) mod P — shift 1 chains directly after ReduceScatter.
+func (c *Ctx) allGather(data []float64, shift int) error {
+	p := c.plan
+	np := p.npes
+	if len(data) > p.maxElems {
+		return fmt.Errorf("ccl: vector %d exceeds plan max %d", len(data), p.maxElems)
+	}
+	if np == 1 {
+		return nil
+	}
+	me := c.sc.MyPE()
+	c.seq++
+	right := (me + 1) % np
+	for step := 0; step < np-1; step++ {
+		// Step 0 sends my own chunk; step s forwards the chunk that
+		// arrived at step s-1, which originated s PEs to the left.
+		sendChunk := ((me+shift-step)%np + np) % np
+		slot := np - 1 + step // distinct slots from ReduceScatter steps
+		slo, shi := chunkBounds(len(data), np, sendChunk)
+		c.sc.PutSignalNBI(right, p.stagingOff(slot), encode(data[slo:shi]), p.sigOff(slot), c.seq)
+		c.sc.WaitUntilAll([]int{p.sigOff(slot)}, c.seq)
+		recvChunk := (sendChunk - 1 + np) % np
+		rlo, rhi := chunkBounds(len(data), np, recvChunk)
+		decodeInto(data[rlo:rhi], c.sc.PE().Heap()[p.stagingOff(slot):])
+	}
+	c.sc.Quiet()
+	c.sc.Barrier()
+	return nil
+}
+
+// AllReduce sums the vectors of all PEs element-wise, leaving the full
+// result on every PE (ring reduce-scatter + ring allgather).
+func (c *Ctx) AllReduce(data []float64) error {
+	if _, _, err := c.ReduceScatter(data); err != nil {
+		return err
+	}
+	// ReduceScatter leaves the reduced chunk at (me+1) mod P.
+	return c.allGather(data, 1)
+}
+
+// Broadcast sends root's vector to all PEs through a pipelined ring:
+// the vector moves in chunkElems-sized pieces, so the pipeline hides
+// all but the first hop's latency. data is overwritten on non-roots.
+func (c *Ctx) Broadcast(root int, data []float64, chunkElems int) error {
+	p := c.plan
+	np := p.npes
+	if len(data) > p.maxElems {
+		return fmt.Errorf("ccl: vector %d exceeds plan max %d", len(data), p.maxElems)
+	}
+	if chunkElems < 1 || 8*chunkElems > p.chunkCap {
+		return fmt.Errorf("ccl: chunkElems %d out of range (plan chunk capacity %d elems)", chunkElems, p.chunkCap/8)
+	}
+	if np == 1 {
+		return nil
+	}
+	me := c.sc.MyPE()
+	c.seq++
+	vrank := (me - root + np) % np
+	right := (me + 1) % np
+	chunks := (len(data) + chunkElems - 1) / chunkElems
+	// Chunks flow through the ring in groups of at most p.slots so a
+	// fast sender can never overwrite a staging slot its neighbor has
+	// not consumed; a barrier drains each group.
+	for group := 0; group < chunks; group += p.slots {
+		end := group + p.slots
+		if end > chunks {
+			end = chunks
+		}
+		for ch := group; ch < end; ch++ {
+			lo := ch * chunkElems
+			hi := lo + chunkElems
+			if hi > len(data) {
+				hi = len(data)
+			}
+			slot := ch % p.slots
+			sig := c.seq*1000000 + uint64(ch) + 1
+			if vrank != 0 {
+				// Wait for this chunk from the left, then adopt it.
+				c.sc.WaitUntilAll([]int{p.sigOff(slot)}, sig)
+				decodeInto(data[lo:hi], c.sc.PE().Heap()[p.stagingOff(slot):])
+			}
+			if vrank != np-1 {
+				c.sc.PutSignalNBI(right, p.stagingOff(slot), encode(data[lo:hi]), p.sigOff(slot), sig)
+			}
+		}
+		c.sc.Quiet()
+		c.sc.Barrier()
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation from the simulated stack. Each experiment
+// returns an Output carrying rendered text (tables / ASCII charts),
+// the raw series for CSV export, and paper-vs-measured notes; the
+// cmd/experiments binary and the repository's benchmark suite both
+// drive these entry points (see DESIGN.md §4 for the index).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"msgroofline/internal/machine"
+	"msgroofline/internal/plot"
+	"msgroofline/internal/sim"
+	"msgroofline/internal/spmat"
+)
+
+// Scale selects experiment sizing: Quick shrinks problem sizes so the
+// whole suite runs in seconds; Full uses paper-scale parameters where
+// the simulation cost allows (downscales are noted in the output).
+type Scale int
+
+const (
+	// Quick runs small configurations (CI-sized).
+	Quick Scale = iota
+	// Full runs paper-scale configurations.
+	Full
+)
+
+// Output is one regenerated table or figure.
+type Output struct {
+	// ID is the experiment key, e.g. "fig3" or "tableII".
+	ID string
+	// Title is the human heading.
+	Title string
+	// Text is the rendered tables and ASCII charts.
+	Text string
+	// Series is the underlying data for CSV export.
+	Series []plot.Series
+	// Notes record paper-vs-measured observations and any scaling
+	// substitutions.
+	Notes []string
+}
+
+// Render concatenates the output for terminal display.
+func (o *Output) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "==== %s: %s ====\n\n", o.ID, o.Title)
+	b.WriteString(o.Text)
+	if len(o.Notes) > 0 {
+		b.WriteString("\nNotes:\n")
+		for _, n := range o.Notes {
+			fmt.Fprintf(&b, "  - %s\n", n)
+		}
+	}
+	return b.String()
+}
+
+// Experiment is a registered generator.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Scale) (*Output, error)
+}
+
+// Registry lists every experiment in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"tableI", "Evaluation platforms (Table I / Table III)", func(Scale) (*Output, error) { return TableI() }},
+		{"fig1", "Message Roofline overview on Frontier (Fig 1)", Fig1},
+		{"fig2", "Node architectures (Fig 2)", func(Scale) (*Output, error) { return Fig2() }},
+		{"fig3", "Two-sided vs one-sided MPI bandwidth on CPUs (Fig 3)", Fig3},
+		{"fig4", "GPU-initiated put-with-signal and CAS (Fig 4)", Fig4},
+		{"tableII", "Workload characterization (Table II)", func(s Scale) (*Output, error) { return TableII(s) }},
+		{"fig5", "Stencil time on CPUs and GPUs (Fig 5)", Fig5},
+		{"fig6", "Workload communication bounds on Perlmutter CPU (Fig 6)", Fig6},
+		{"fig7", "Messaging latency vs msg/sync per workload (Fig 7)", Fig7},
+		{"fig8", "SpTRSV time on CPUs and GPUs (Fig 8)", Fig8},
+		{"fig9", "Distributed hashtable time (Fig 9)", Fig9},
+		{"fig10", "Message splitting speedup on Perlmutter GPU (Fig 10)", Fig10},
+		{"ext-ccl", "Extension: NCCL-style ring collectives (paper future work)", ExtCCL},
+		{"ext-frontier", "Extension: Frontier GPU with projected ROC_SHMEM", ExtFrontierGPU},
+		{"ext-notified", "Extension: notified access (hardware put-with-signal)", ExtNotified},
+	}
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q", id)
+}
+
+// helpers -------------------------------------------------------------------
+
+func mustMachine(name string) *machine.Config {
+	c, err := machine.Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// matrixFor returns the SpTRSV factor for the scale.
+func matrixFor(s Scale) (*spmat.SupTri, string, error) {
+	if s == Full {
+		m, err := spmat.Generate(spmat.M3DC1Like)
+		return m, "M3D-C1-like synthetic factor (25200 x 25200, paper matrix scaled 5x; message sizes preserved at 24-1040 B)", err
+	}
+	m, err := spmat.Generate(spmat.Params{N: 2400, MeanSnode: 24, Fill: 1.0, Seed: 20230901})
+	return m, "quick-scale synthetic factor (2400 x 2400)", err
+}
+
+func usStr(t sim.Time) string { return fmt.Sprintf("%.2f", t.Microseconds()) }
+
+func msStr(t sim.Time) string { return fmt.Sprintf("%.3f", t.Seconds()*1e3) }

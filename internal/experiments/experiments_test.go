@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryCoversPaper(t *testing.T) {
+	want := []string{"tableI", "fig1", "fig2", "fig3", "fig4", "tableII",
+		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ext-ccl", "ext-frontier", "ext-notified"}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	for i, id := range want {
+		if reg[i].ID != id {
+			t.Fatalf("registry[%d] = %s, want %s", i, reg[i].ID, id)
+		}
+	}
+	if _, err := Get("fig9"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Get("fig99"); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+}
+
+// TestAllExperimentsRunQuick regenerates every table and figure at
+// quick scale — the end-to-end smoke test of the whole repository.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiments still take a few seconds")
+	}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run(Quick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.ID != e.ID {
+				t.Fatalf("output id %q", out.ID)
+			}
+			if len(out.Text) == 0 {
+				t.Fatal("empty output")
+			}
+			if strings.Contains(out.Text, "(no data)") {
+				t.Fatalf("%s rendered empty chart:\n%s", e.ID, out.Text)
+			}
+			for _, n := range out.Notes {
+				if strings.Contains(n, "WARNING") {
+					t.Errorf("%s: %s", e.ID, n)
+				}
+			}
+			t.Logf("\n%s", out.Render())
+		})
+	}
+}

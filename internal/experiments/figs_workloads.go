@@ -1,0 +1,436 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"msgroofline/internal/core"
+	"msgroofline/internal/hashtable"
+	"msgroofline/internal/machine"
+	"msgroofline/internal/plot"
+	"msgroofline/internal/sptrsv"
+	"msgroofline/internal/stencil"
+	"msgroofline/internal/table"
+)
+
+// stencilDims maps a rank count to the paper's 2-D process grid: the
+// most square factorization, wider than tall (6 -> 3x2, 128 -> 16x8).
+func stencilDims(p int) (px, py int) {
+	py = 1
+	for d := 2; d*d <= p; d++ {
+		if p%d == 0 {
+			py = d
+		}
+	}
+	return p / py, py
+}
+
+// fitGrid shrinks the grid to the nearest multiple of both px and py
+// so tiles stay uniform (the paper's code pads instead; the size
+// difference is below 0.3%).
+func fitGrid(grid, px, py int) int {
+	m := px * py
+	g := grid - grid%m
+	if g < m {
+		g = m
+	}
+	return g
+}
+
+func stencilScale(s Scale) (grid, iters int, note string) {
+	if s == Full {
+		// Paper grid; iterations reduced 20x (time scales linearly
+		// per iteration, reported per-iteration).
+		return 16384, 50, "grid 16384^2 as in the paper; 50 iterations instead of 1000 (per-iteration time is what Fig 5 compares)"
+	}
+	return 2048, 4, "quick scale: grid 2048^2, 4 iterations"
+}
+
+// TableII reports the workload characterization, with msg/sync and
+// message sizes measured from traced runs.
+func TableII(s Scale) (*Output, error) {
+	t := table.New("Workload characterization (Table II)",
+		"Workload", "Pattern", "Notify", "P2P pair", "Msg/sync (paper)", "Msg/sync (measured)", "Bytes/msg (measured)")
+	pm := mustMachine("perlmutter-cpu")
+
+	st, err := stencil.RunTwoSided(stencil.Config{Machine: pm, Grid: 512, Iters: 3, PX: 4, PY: 4})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("Stencil", "BSP sync", "yes", "deterministic & fixed", "4",
+		fmt.Sprintf("%.1f", st.Comm.MsgsPerSync),
+		fmt.Sprintf("%.0f", st.Comm.MeanBytes))
+
+	m, _, err := matrixFor(Quick)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := sptrsv.RunTwoSided(sptrsv.Config{Machine: pm, Matrix: m, Ranks: 8})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("SpTRSV", "DAG async", "yes", "deterministic & variable", "1",
+		fmt.Sprintf("%.1f", sp.Comm.MsgsPerSync),
+		fmt.Sprintf("%.0f (range %d-%d)", sp.Comm.MeanBytes, sp.Comm.MinBytes, sp.Comm.MaxBytes))
+
+	ht, err := hashtable.RunTwoSided(pm, hashtable.Config{Ranks: 8, TotalInserts: 800})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("HashTable (two-sided)", "random async", "no", "indeterministic", "P",
+		fmt.Sprintf("%.1f", ht.Comm.MsgsPerSync),
+		fmt.Sprintf("%.0f (3 words)", ht.Comm.MeanBytes))
+
+	h1, err := hashtable.RunOneSided(pm, hashtable.Config{Ranks: 8, TotalInserts: 800})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("HashTable (one-sided)", "random async", "no", "indeterministic", "1e6",
+		fmt.Sprintf("%d atomics / 1 sync", h1.Atomics), "8 (1 word CAS)")
+
+	return &Output{ID: "tableII", Title: "Workload characterization", Text: t.Render(),
+		Notes: []string{"Measured msg/sync and sizes come from traced runs on Perlmutter CPU (stencil averages below 4 because edge ranks have fewer neighbors)."}}, nil
+}
+
+// Fig5 reproduces stencil scaling on CPUs and GPUs.
+func Fig5(s Scale) (*Output, error) {
+	grid, iters, note := stencilScale(s)
+	cpuRanks := []int{4, 8, 16, 32, 64, 128}
+	if s == Quick {
+		cpuRanks = []int{4, 16, 64}
+	}
+	pm := mustMachine("perlmutter-cpu")
+	var b strings.Builder
+	t := table.New("Fig 5 — stencil time", "Platform", "Variant", "Ranks", "Total (ms)", "Per-iter (ms)", "Comm GB/s")
+	twoS := plot.Series{Name: "perlmutter-cpu two-sided"}
+	oneS := plot.Series{Name: "perlmutter-cpu one-sided"}
+	for _, p := range cpuRanks {
+		px, py := stencilDims(p)
+		g := fitGrid(grid, px, py)
+		two, err := stencil.RunTwoSided(stencil.Config{Machine: pm, Grid: g, Iters: iters, PX: px, PY: py})
+		if err != nil {
+			return nil, err
+		}
+		one, err := stencil.RunOneSided(stencil.Config{Machine: pm, Grid: g, Iters: iters, PX: px, PY: py})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("Perlmutter CPU", "two-sided", fmt.Sprint(p), msStr(two.Elapsed), msStr(two.PerIter), fmt.Sprintf("%.2f", two.Comm.SustainedGBs))
+		t.AddRow("Perlmutter CPU", "one-sided", fmt.Sprint(p), msStr(one.Elapsed), msStr(one.PerIter), fmt.Sprintf("%.2f", one.Comm.SustainedGBs))
+		twoS.X = append(twoS.X, float64(p))
+		twoS.Y = append(twoS.Y, two.Elapsed.Seconds()*1e3)
+		oneS.X = append(oneS.X, float64(p))
+		oneS.Y = append(oneS.Y, one.Elapsed.Seconds()*1e3)
+	}
+	gpuSeries := map[string]*plot.Series{}
+	for _, g := range []struct {
+		name  string
+		ranks []int
+	}{
+		{"perlmutter-gpu", []int{1, 2, 4}},
+		{"summit-gpu", []int{1, 2, 4, 6}},
+	} {
+		cfg := mustMachine(g.name)
+		ser := &plot.Series{Name: g.name + " nvshmem"}
+		gpuSeries[g.name] = ser
+		for _, p := range g.ranks {
+			px, py := stencilDims(p)
+			res, err := stencil.RunGPU(stencil.Config{Machine: cfg, Grid: fitGrid(grid, px, py), Iters: iters, PX: px, PY: py})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(cfg.Title, "nvshmem", fmt.Sprint(p), msStr(res.Elapsed), msStr(res.PerIter), fmt.Sprintf("%.2f", res.Comm.SustainedGBs))
+			ser.X = append(ser.X, float64(p))
+			ser.Y = append(ser.Y, res.Elapsed.Seconds()*1e3)
+		}
+	}
+	// Host-staged GPU (§I's "communicate via the host processor"):
+	// two-sided MPI on the GPU machine routes through the host.
+	pg := mustMachine("perlmutter-gpu")
+	staged := plot.Series{Name: "perlmutter-gpu host-staged"}
+	for _, p := range []int{1, 2, 4} {
+		px, py := stencilDims(p)
+		res, err := stencil.RunTwoSided(stencil.Config{Machine: pg, Grid: fitGrid(grid, px, py), Iters: iters, PX: px, PY: py})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(pg.Title, "host-staged MPI", fmt.Sprint(p), msStr(res.Elapsed), msStr(res.PerIter), fmt.Sprintf("%.2f", res.Comm.SustainedGBs))
+		staged.X = append(staged.X, float64(p))
+		staged.Y = append(staged.Y, res.Elapsed.Seconds()*1e3)
+	}
+	b.WriteString(t.Render())
+	series := []plot.Series{twoS, oneS, *gpuSeries["perlmutter-gpu"], *gpuSeries["summit-gpu"], staged}
+	chart := plot.Chart{Title: "Fig 5 — stencil strong scaling", XLabel: "ranks/GPUs", YLabel: "time (ms)", XLog: true, YLog: true, Series: series}
+	b.WriteString("\n")
+	b.WriteString(chart.Render())
+	return &Output{ID: "fig5", Title: "Stencil scaling", Text: b.String(), Series: series,
+		Notes: []string{
+			note,
+			"Two-sided and one-sided perform equally on CPUs (bandwidth/compute-bound, §III-A); GPUs win from parallelism and bandwidth.",
+			"The host-staged series is the §I baseline (device-host-device path); GPU-initiated NVSHMEM beats it at every GPU count.",
+		}}, nil
+}
+
+// Fig6 places the three workloads' message-size ranges on the
+// Perlmutter CPU Message Rooflines.
+func Fig6(s Scale) (*Output, error) {
+	pm := mustMachine("perlmutter-cpu")
+	mTwo, err := core.ForMachine(pm, machine.TwoSided, 128, 0, 127)
+	if err != nil {
+		return nil, err
+	}
+	mOne, err := core.ForMachine(pm, machine.OneSided, 128, 0, 127)
+	if err != nil {
+		return nil, err
+	}
+	// Workload placements from traced quick runs.
+	grid, iters, _ := stencilScale(Quick)
+	st, err := stencil.RunTwoSided(stencil.Config{Machine: pm, Grid: grid, Iters: iters, PX: 4, PY: 4})
+	if err != nil {
+		return nil, err
+	}
+	mat, _, err := matrixFor(s)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := sptrsv.RunTwoSided(sptrsv.Config{Machine: pm, Matrix: mat, Ranks: 16})
+	if err != nil {
+		return nil, err
+	}
+	ht, err := hashtable.RunTwoSided(pm, hashtable.Config{Ranks: 16, TotalInserts: 1600})
+	if err != nil {
+		return nil, err
+	}
+	dots := []core.Dot{
+		mTwo.Place("stencil", st.Comm),
+		mTwo.Place("sptrsv", sp.Comm),
+		mTwo.Place("hashtable", ht.Comm),
+	}
+	sizes := core.DefaultSizes()
+	chart := mTwo.Chart([]int{1, 4, 100, 10000}, sizes, dots)
+	var b strings.Builder
+	b.WriteString(chart.Render())
+	t := table.New("Workload bounds on the Message Roofline (Perlmutter CPU, two-sided)",
+		"Workload", "mean B", "msg/sync", "achieved GB/s", "tight bound GB/s", "flood bound GB/s", "efficiency")
+	for _, d := range dots {
+		t.AddRow(d.Name, fmt.Sprintf("%.0f", d.Bytes), fmt.Sprintf("%.1f", d.MsgsPerSync),
+			fmt.Sprintf("%.3f", d.GBs), fmt.Sprintf("%.3f", d.BoundGBs),
+			fmt.Sprintf("%.3f", d.FloodBoundGBs), fmt.Sprintf("%.2f", d.Efficiency()))
+	}
+	b.WriteString("\n")
+	b.WriteString(t.Render())
+	oneMsg := mOne.Params.SweepTime(1, 400)
+	twoMsg := mTwo.Params.SweepTime(1, 400)
+	return &Output{ID: "fig6", Title: "Workload communication bounds", Text: b.String(),
+		Series: chart.Series,
+		Notes: []string{
+			fmt.Sprintf("One small message per sync: two-sided %.1f us vs one-sided %.1f us (paper Fig 6b: 3.3 vs 5 us)", twoMsg.Microseconds(), oneMsg.Microseconds()),
+			"The msg/sync ceiling is far tighter than the flood bound for the 1-msg/sync SpTRSV (the paper's core argument).",
+		}}, nil
+}
+
+// Fig7 compares the amortized per-message latency each workload sees
+// at its (msg/sync, message size) coordinate on the GPU Message
+// Roofline: more messages per synchronization hide more latency, so
+// the hashtable (1e6 msg/sync) pays the least and SpTRSV (1 msg/sync)
+// the most.
+func Fig7(s Scale) (*Output, error) {
+	pg := mustMachine("perlmutter-gpu")
+	model, err := core.ForMachine(pg, machine.GPUShmem, 4, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	// Message sizes come from traced workload runs.
+	pm := mustMachine("perlmutter-cpu")
+	grid, iters, _ := stencilScale(Quick)
+	st, err := stencil.RunTwoSided(stencil.Config{Machine: pm, Grid: grid, Iters: iters, PX: 4, PY: 4})
+	if err != nil {
+		return nil, err
+	}
+	mat, _, err := matrixFor(Quick)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := sptrsv.RunTwoSided(sptrsv.Config{Machine: pm, Matrix: mat, Ranks: 16})
+	if err != nil {
+		return nil, err
+	}
+	type row struct {
+		name  string
+		n     int
+		bytes int64
+	}
+	rows := []row{
+		{"hashtable (1e6 msg/sync, 1-word CAS)", 1000000, 8},
+		{"stencil (4 msg/sync, halo)", 4, int64(st.Comm.MeanBytes)},
+		{"sptrsv (1 msg/sync, contribution)", 1, int64(sp.Comm.MeanBytes)},
+	}
+	t := table.New("Fig 7 — amortized GPU message latency at each workload's msg/sync",
+		"Workload", "msg/sync", "bytes/msg", "latency/msg (us)")
+	ser := plot.Series{Name: "amortized latency (us)"}
+	lats := make([]float64, len(rows))
+	for i, r := range rows {
+		lat := model.Params.MsgLatency(r.n, r.bytes)
+		lats[i] = lat.Microseconds()
+		t.AddRow(r.name, fmt.Sprint(r.n), fmt.Sprint(r.bytes), usStr(lat))
+		ser.X = append(ser.X, float64(r.n))
+		ser.Y = append(ser.Y, lats[i])
+	}
+	notes := []string{"Paper Fig 7: hashtable (1e6 msg/sync) has the smallest latency, SpTRSV (1 msg/sync) the largest."}
+	if !(lats[0] < lats[1] && lats[1] < lats[2]) {
+		notes = append(notes, "WARNING: ordering deviates from the paper")
+	}
+	return &Output{ID: "fig7", Title: "Latency vs msg/sync", Text: t.Render(), Series: []plot.Series{ser}, Notes: notes}, nil
+}
+
+// Fig8 reproduces SpTRSV scaling on CPUs and GPUs.
+func Fig8(s Scale) (*Output, error) {
+	mat, matNote, err := matrixFor(s)
+	if err != nil {
+		return nil, err
+	}
+	cpuRanks := []int{1, 2, 4, 8, 16, 32}
+	if s == Quick {
+		cpuRanks = []int{1, 4, 16}
+	}
+	t := table.New("Fig 8 — SpTRSV solve time", "Platform", "Variant", "Ranks", "Time (ms)")
+	var series []plot.Series
+	addSeries := func(name string, xs []int, ys []float64) {
+		ser := plot.Series{Name: name}
+		for i := range xs {
+			ser.X = append(ser.X, float64(xs[i]))
+			ser.Y = append(ser.Y, ys[i])
+		}
+		series = append(series, ser)
+	}
+	pm := mustMachine("perlmutter-cpu")
+	var twoT, oneT []float64
+	for _, p := range cpuRanks {
+		two, err := sptrsv.RunTwoSided(sptrsv.Config{Machine: pm, Matrix: mat, Ranks: p})
+		if err != nil {
+			return nil, err
+		}
+		one, err := sptrsv.RunOneSided(sptrsv.Config{Machine: pm, Matrix: mat, Ranks: p})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("Perlmutter CPU", "two-sided", fmt.Sprint(p), msStr(two.Elapsed))
+		t.AddRow("Perlmutter CPU", "one-sided", fmt.Sprint(p), msStr(one.Elapsed))
+		twoT = append(twoT, two.Elapsed.Seconds()*1e3)
+		oneT = append(oneT, one.Elapsed.Seconds()*1e3)
+	}
+	addSeries("perlmutter-cpu two-sided", cpuRanks, twoT)
+	addSeries("perlmutter-cpu one-sided", cpuRanks, oneT)
+
+	sm := mustMachine("summit-cpu")
+	smRanks := []int{1, 8, 32, 42}
+	if s == Quick {
+		smRanks = []int{1, 16, 42}
+	}
+	var smT []float64
+	for _, p := range smRanks {
+		r, err := sptrsv.RunTwoSided(sptrsv.Config{Machine: sm, Matrix: mat, Ranks: p})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("Summit CPU", "two-sided", fmt.Sprint(p), msStr(r.Elapsed))
+		smT = append(smT, r.Elapsed.Seconds()*1e3)
+	}
+	addSeries("summit-cpu two-sided", smRanks, smT)
+
+	for _, g := range []struct {
+		name  string
+		ranks []int
+	}{
+		{"perlmutter-gpu", []int{1, 2, 4}},
+		{"summit-gpu", []int{1, 2, 4, 6}},
+	} {
+		cfg := mustMachine(g.name)
+		var ys []float64
+		for _, p := range g.ranks {
+			r, err := sptrsv.RunGPU(sptrsv.Config{Machine: cfg, Matrix: mat, Ranks: p})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(cfg.Title, "nvshmem", fmt.Sprint(p), msStr(r.Elapsed))
+			ys = append(ys, r.Elapsed.Seconds()*1e3)
+		}
+		addSeries(g.name+" nvshmem", g.ranks, ys)
+	}
+	chart := plot.Chart{Title: "Fig 8 — SpTRSV scaling", XLabel: "ranks/GPUs", YLabel: "time (ms)", XLog: true, YLog: true, Series: series}
+	pgLast := series[3].Y[len(series[3].Y)-1]
+	sgLast := series[4].Y[len(series[4].Y)-2] // both at 4 GPUs
+	notes := []string{
+		matNote,
+		"One-sided SpTRSV is slower than two-sided on CPUs (4 MPI ops + receiver polling, §III-B).",
+		fmt.Sprintf("At 4 GPUs: Summit/Perlmutter time ratio %.2fx (paper: 3.7x; our simulated gap is smaller — see EXPERIMENTS.md)", sgLast/pgLast),
+	}
+	return &Output{ID: "fig8", Title: "SpTRSV scaling", Text: t.Render() + "\n" + chart.Render(), Series: series, Notes: notes}, nil
+}
+
+// Fig9 reproduces the distributed hashtable comparison.
+func Fig9(s Scale) (*Output, error) {
+	pm := mustMachine("perlmutter-cpu")
+	inserts := 20000
+	cpuRanks := []int{2, 8, 32, 128}
+	gpuInserts := 20000
+	if s == Quick {
+		inserts = 2048
+		gpuInserts = 2400
+		cpuRanks = []int{2, 16, 64}
+	}
+	t := table.New("Fig 9 — distributed hashtable", "Platform", "Variant", "Ranks", "Time (ms)", "updates/s")
+	var series []plot.Series
+	two := plot.Series{Name: "perlmutter-cpu two-sided"}
+	one := plot.Series{Name: "perlmutter-cpu one-sided"}
+	var crossNote string
+	for _, p := range cpuRanks {
+		cfg := hashtable.Config{Ranks: p, TotalInserts: inserts}
+		t2, err := hashtable.RunTwoSided(pm, cfg)
+		if err != nil {
+			return nil, err
+		}
+		t1, err := hashtable.RunOneSided(pm, cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("Perlmutter CPU", "two-sided", fmt.Sprint(p), msStr(t2.Elapsed), fmt.Sprintf("%.0f", t2.UpdatesPerSec))
+		t.AddRow("Perlmutter CPU", "one-sided", fmt.Sprint(p), msStr(t1.Elapsed), fmt.Sprintf("%.0f", t1.UpdatesPerSec))
+		two.X = append(two.X, float64(p))
+		two.Y = append(two.Y, t2.Elapsed.Seconds()*1e3)
+		one.X = append(one.X, float64(p))
+		one.Y = append(one.Y, t1.Elapsed.Seconds()*1e3)
+		if p == 2 && t2.Elapsed < t1.Elapsed {
+			crossNote = "At P=2 two-sided wins (paper: 1.1 us vs a 2 us CAS); "
+		}
+	}
+	ratio := two.Y[len(two.Y)-1] / one.Y[len(one.Y)-1]
+	series = append(series, two, one)
+	for _, g := range []struct {
+		name  string
+		ranks []int
+	}{
+		{"perlmutter-gpu", []int{1, 2, 4}},
+		{"summit-gpu", []int{1, 2, 3, 4, 6}},
+	} {
+		cfg := mustMachine(g.name)
+		ser := plot.Series{Name: g.name + " nvshmem"}
+		for _, p := range g.ranks {
+			r, err := hashtable.RunGPU(cfg, hashtable.Config{Ranks: p, TotalInserts: gpuInserts})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(cfg.Title, "nvshmem CAS", fmt.Sprint(p), msStr(r.Elapsed), fmt.Sprintf("%.0f", r.UpdatesPerSec))
+			ser.X = append(ser.X, float64(p))
+			ser.Y = append(ser.Y, r.Elapsed.Seconds()*1e3)
+		}
+		series = append(series, ser)
+	}
+	chart := plot.Chart{Title: "Fig 9 — hashtable scaling", XLabel: "ranks/GPUs", YLabel: "time (ms)", XLog: true, YLog: true, Series: series}
+	notes := []string{
+		fmt.Sprintf("%sat P=%d one-sided is %.1fx faster (paper: 5x at 128).", crossNote, cpuRanks[len(cpuRanks)-1], ratio),
+		"Summit GPU stops scaling past 3 GPUs: cross-socket atomics pay 1.6 us and saturate the X-Bus (Fig 9 observation).",
+		fmt.Sprintf("Total inserts scaled to %d (paper: 1e6) to keep the two-sided broadcast protocol's P*inserts message count simulable; rates are intensive and unaffected.", inserts),
+	}
+	return &Output{ID: "fig9", Title: "Distributed hashtable", Text: t.Render() + "\n" + chart.Render(), Series: series, Notes: notes}, nil
+}

@@ -1,0 +1,53 @@
+// Package gpu models the execution side of a GPU processing element:
+// kernel launch overhead, throughput scaling relative to a CPU rank,
+// and occupancy-limited scheduling of independent work items over a
+// finite number of concurrently resident thread blocks. The paper
+// attributes GPU stencil speedups to exactly these properties ("each
+// GPU can have eighty thread blocks scheduled simultaneously, and thus
+// achieving 320x parallelism on one node", §III-A).
+package gpu
+
+import (
+	"msgroofline/internal/machine"
+	"msgroofline/internal/sim"
+)
+
+// KernelTime converts serial CPU-equivalent work into device time:
+// the work is spread over the device's throughput, plus one kernel
+// launch overhead.
+func KernelTime(cfg *machine.GPUConfig, serialWork sim.Time) sim.Time {
+	if cfg == nil || serialWork <= 0 {
+		return serialWork
+	}
+	scaled := sim.Time(float64(serialWork)/cfg.ComputeScale + 0.5)
+	return cfg.KernelLaunch + scaled
+}
+
+// OccupancyWaves returns how many waves are needed to run items
+// independent tasks when at most cfg.BlocksPerGPU run concurrently.
+func OccupancyWaves(cfg *machine.GPUConfig, items int) int {
+	if items <= 0 {
+		return 0
+	}
+	if cfg == nil || cfg.BlocksPerGPU <= 0 {
+		return items
+	}
+	return (items + cfg.BlocksPerGPU - 1) / cfg.BlocksPerGPU
+}
+
+// OccupancyTime schedules items independent tasks of perItem device
+// time each over the resident-block limit: full waves run back to
+// back.
+func OccupancyTime(cfg *machine.GPUConfig, items int, perItem sim.Time) sim.Time {
+	return sim.Time(OccupancyWaves(cfg, items)) * perItem
+}
+
+// EffectiveParallelism is the per-node messaging/compute concurrency:
+// blocks per GPU x GPUs (the paper's "320x parallelism on one node"
+// for 4 GPUs x 80 blocks).
+func EffectiveParallelism(cfg *machine.GPUConfig, gpus int) int {
+	if cfg == nil {
+		return gpus
+	}
+	return cfg.BlocksPerGPU * gpus
+}

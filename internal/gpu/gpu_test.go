@@ -1,0 +1,62 @@
+package gpu
+
+import (
+	"testing"
+
+	"msgroofline/internal/machine"
+	"msgroofline/internal/sim"
+)
+
+func cfg() *machine.GPUConfig {
+	c, _ := machine.Get("perlmutter-gpu")
+	return c.GPU
+}
+
+func TestKernelTimeScaling(t *testing.T) {
+	c := cfg()
+	work := sim.FromMicroseconds(6400)
+	got := KernelTime(c, work)
+	want := c.KernelLaunch + sim.FromMicroseconds(100) // 6400/64
+	if got != want {
+		t.Fatalf("KernelTime = %v, want %v", got, want)
+	}
+	if KernelTime(nil, work) != work {
+		t.Fatal("nil config should be identity")
+	}
+	if KernelTime(c, 0) != 0 {
+		t.Fatal("zero work should be free")
+	}
+}
+
+func TestOccupancyWaves(t *testing.T) {
+	c := cfg() // 80 blocks
+	cases := []struct{ items, want int }{
+		{0, 0}, {1, 1}, {80, 1}, {81, 2}, {160, 2}, {161, 3},
+	}
+	for _, tc := range cases {
+		if got := OccupancyWaves(c, tc.items); got != tc.want {
+			t.Errorf("waves(%d) = %d, want %d", tc.items, got, tc.want)
+		}
+	}
+	if OccupancyWaves(nil, 7) != 7 {
+		t.Fatal("nil config should serialize")
+	}
+}
+
+func TestOccupancyTime(t *testing.T) {
+	c := cfg()
+	per := sim.Microsecond
+	if got := OccupancyTime(c, 200, per); got != 3*per {
+		t.Fatalf("OccupancyTime = %v, want 3us", got)
+	}
+}
+
+func TestEffectiveParallelism(t *testing.T) {
+	c := cfg()
+	if got := EffectiveParallelism(c, 4); got != 320 {
+		t.Fatalf("parallelism = %d, want 320 (paper §III-A)", got)
+	}
+	if EffectiveParallelism(nil, 4) != 4 {
+		t.Fatal("nil config should be #GPUs")
+	}
+}

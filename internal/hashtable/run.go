@@ -1,0 +1,226 @@
+package hashtable
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"msgroofline/internal/machine"
+	"msgroofline/internal/mpi"
+	"msgroofline/internal/shmem"
+	"msgroofline/internal/sim"
+	"msgroofline/internal/trace"
+)
+
+// RunOneSided executes the one-sided CPU design: inserts are CAS on
+// the home slot; collisions claim an overflow slot with fetch-and-add
+// and write it with a second CAS; MPI_Win_flush_local after each
+// insert; no synchronization until the end.
+func RunOneSided(mcfg *machine.Config, cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	g := newGeometry(&cfg)
+	c, err := mpi.NewComm(mcfg, cfg.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	win, err := c.NewWin(g.heapBytes())
+	if err != nil {
+		return nil, err
+	}
+	var collisions int64
+	err = c.Launch(func(r *mpi.Rank) {
+		base := r.Rank() * g.perRank
+		for i := 0; i < g.perRank; i++ {
+			key := keyFor(base + i)
+			hr, slot := g.home(key)
+			old := r.CompareAndSwap(win, hr, offTable+8*slot, 0, key)
+			if old != 0 {
+				collisions++
+				idx := r.FetchAndAdd(win, hr, offNextFree, 1)
+				prev := r.CompareAndSwap(win, hr, g.offOverflow()+8*int(idx), 0, key)
+				if prev != 0 {
+					panic("hashtable: claimed overflow slot already occupied")
+				}
+			}
+			r.FlushLocal(win, hr)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hashtable one-sided: %w", err)
+	}
+	shards := make([]shard, cfg.Ranks)
+	for rk := range shards {
+		shards[rk] = shardFromBytes(g, win.Local(rk))
+	}
+	if err := verifyShards(g, shards); err != nil {
+		return nil, err
+	}
+	_, _, atomics := win.OpStats()
+	// One synchronization for the whole insert phase (Table II: 1e6
+	// messages per sync).
+	rec := trace.New()
+	rec.Sync()
+	return finishResult(&cfg, c.Elapsed(), rec.Summarize(c.Elapsed()), atomics, collisions), nil
+}
+
+// triplet encoding for the two-sided protocol: (ID, elem, pos), three
+// 8-byte words (Table II: Words/Msg = 3).
+func encodeTriplet(id int, elem uint64, pos int) []byte {
+	out := make([]byte, 24)
+	binary.LittleEndian.PutUint64(out[0:], uint64(id))
+	binary.LittleEndian.PutUint64(out[8:], elem)
+	binary.LittleEndian.PutUint64(out[16:], uint64(pos))
+	return out
+}
+
+func decodeTriplet(b []byte) (id int, elem uint64, pos int) {
+	return int(binary.LittleEndian.Uint64(b[0:])),
+		binary.LittleEndian.Uint64(b[8:]),
+		int(binary.LittleEndian.Uint64(b[16:]))
+}
+
+// RunTwoSided executes the paper's two-sided design: every insert is
+// broadcast as a triplet to all other ranks; each rank receives P-1
+// messages per round and applies the triplets addressed to it.
+func RunTwoSided(mcfg *machine.Config, cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	g := newGeometry(&cfg)
+	c, err := mpi.NewComm(mcfg, cfg.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.New()
+	c.SetSendHook(func(src, dst int, bytes int64, issue, deliver sim.Time) {
+		rec.Record(trace.Event{Src: src, Dst: dst, Bytes: bytes, Issue: issue, Deliver: deliver})
+	})
+	shards := make([]shard, cfg.Ranks)
+	for rk := range shards {
+		shards[rk] = shard{
+			table:    make([]uint64, g.slots),
+			overflow: make([]uint64, g.overflow),
+		}
+	}
+	var collisions int64
+	insertLocal := func(rk int, elem uint64, pos int) {
+		s := &shards[rk]
+		if s.table[pos] == 0 {
+			s.table[pos] = elem
+			return
+		}
+		collisions++
+		s.overflow[s.nextFree] = elem
+		s.nextFree++
+	}
+	err = c.Launch(func(r *mpi.Rank) {
+		me := r.Rank()
+		p := cfg.Ranks
+		base := me * g.perRank
+		for i := 0; i < g.perRank; i++ {
+			key := keyFor(base + i)
+			hr, slot := g.home(key)
+			payload := encodeTriplet(hr, key, slot)
+			for d := 0; d < p; d++ {
+				if d != me {
+					r.Isend(d, 0, payload)
+				}
+			}
+			if hr == me {
+				insertLocal(me, key, slot)
+			}
+			for got := 0; got < p-1; got++ {
+				req := r.Recv(mpi.AnySource, mpi.AnyTag)
+				id, elem, pos := decodeTriplet(req.Data)
+				if id == me {
+					insertLocal(me, elem, pos)
+				}
+			}
+			rec.Sync() // one insert round = one synchronization
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hashtable two-sided: %w", err)
+	}
+	if err := verifyShards(g, shards); err != nil {
+		return nil, err
+	}
+	return finishResult(&cfg, c.Elapsed(), rec.Summarize(c.Elapsed()), 0, collisions), nil
+}
+
+// RunGPU executes the one-sided design on a GPU machine with NVSHMEM
+// atomics, spreading each PE's inserts over Blocks concurrent
+// thread-block contexts.
+func RunGPU(mcfg *machine.Config, cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if mcfg.Kind != machine.GPU {
+		return nil, fmt.Errorf("hashtable: RunGPU needs a GPU machine, got %s", mcfg.Name)
+	}
+	g := newGeometry(&cfg)
+	j, err := shmem.NewJob(mcfg, cfg.Ranks, g.heapBytes())
+	if err != nil {
+		return nil, err
+	}
+	var collisions int64
+	err = j.Launch(func(c *shmem.Ctx) {
+		me := c.MyPE()
+		base := me * g.perRank
+		blocks := cfg.Blocks
+		if blocks > g.perRank {
+			blocks = g.perRank
+		}
+		if mcfg.GPU != nil {
+			c.Compute(mcfg.GPU.KernelLaunch)
+		}
+		c.ForkJoin(blocks, func(blk *shmem.Ctx, bi int) {
+			for i := bi; i < g.perRank; i += blocks {
+				key := keyFor(base + i)
+				hr, slot := g.home(key)
+				old := blk.AtomicCompareSwap(hr, offTable+8*slot, 0, key)
+				if old != 0 {
+					collisions++
+					idx := blk.AtomicFetchAdd(hr, offNextFree, 1)
+					prev := blk.AtomicCompareSwap(hr, g.offOverflow()+8*int(idx), 0, key)
+					if prev != 0 {
+						panic("hashtable: claimed overflow slot already occupied")
+					}
+				}
+			}
+		})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hashtable gpu: %w", err)
+	}
+	shards := make([]shard, cfg.Ranks)
+	var atomics int64
+	for pe := range shards {
+		shards[pe] = shardFromBytes(g, j.PE(pe).Heap())
+		_, a := j.PE(pe).OpStats()
+		atomics += a
+	}
+	if err := verifyShards(g, shards); err != nil {
+		return nil, err
+	}
+	rec := trace.New()
+	rec.Sync()
+	return finishResult(&cfg, j.Elapsed(), rec.Summarize(j.Elapsed()), atomics, collisions), nil
+}
+
+func shardFromBytes(g geometry, heap []byte) shard {
+	s := shard{
+		table:    make([]uint64, g.slots),
+		overflow: make([]uint64, g.overflow),
+		nextFree: binary.LittleEndian.Uint64(heap[offNextFree:]),
+	}
+	for i := 0; i < g.slots; i++ {
+		s.table[i] = binary.LittleEndian.Uint64(heap[offTable+8*i:])
+	}
+	off := g.offOverflow()
+	for i := 0; i < g.overflow; i++ {
+		s.overflow[i] = binary.LittleEndian.Uint64(heap[off+8*i:])
+	}
+	return s
+}

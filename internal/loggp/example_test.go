@@ -1,0 +1,58 @@
+package loggp_test
+
+import (
+	"fmt"
+
+	"msgroofline/internal/loggp"
+	"msgroofline/internal/sim"
+)
+
+// ExampleParams_SweepBandwidth shows the model's core intuition: more
+// messages per synchronization hide latency, raising sustained
+// bandwidth at a fixed message size.
+func ExampleParams_SweepBandwidth() {
+	p := loggp.Params{
+		L:         sim.FromMicroseconds(3),
+		O:         150 * sim.Nanosecond,
+		Gap:       50 * sim.Nanosecond,
+		Bandwidth: 32e9,
+		OpsPerMsg: 2,
+	}
+	for _, n := range []int{1, 10, 100, 1000} {
+		fmt.Printf("n=%4d: %7.4f GB/s\n", n, p.SweepBandwidth(n, 1024)/1e9)
+	}
+	// Output:
+	// n=   1:  0.3057 GB/s
+	// n=  10:  1.5754 GB/s
+	// n= 100:  2.6947 GB/s
+	// n=1000:  2.9008 GB/s
+}
+
+// ExampleFit recovers LogGP parameters from measured sweep samples,
+// exactly how the paper draws its latency ceilings from empirical dots.
+func ExampleFit() {
+	truth := loggp.Params{
+		L: sim.FromMicroseconds(4), O: 100 * sim.Nanosecond,
+		Gap: 40 * sim.Nanosecond, Bandwidth: 25e9, OpsPerMsg: 2,
+	}
+	var samples []loggp.Sample
+	for _, n := range []int{1, 8, 64, 512} {
+		for _, b := range []int64{8, 1024, 131072} {
+			samples = append(samples, loggp.Sample{N: n, Bytes: b, Elapsed: truth.SweepTime(n, b)})
+		}
+	}
+	fitted, _ := loggp.Fit(samples, 2, truth.Gap)
+	fmt.Printf("fitted L within 15%%: %v\n", within(float64(fitted.L), float64(truth.L), 0.15))
+	fmt.Printf("fitted bw within 15%%: %v\n", within(fitted.Bandwidth, truth.Bandwidth, 0.15))
+	// Output:
+	// fitted L within 15%: true
+	// fitted bw within 15%: true
+}
+
+func within(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol*b
+}

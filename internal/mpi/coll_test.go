@@ -1,0 +1,237 @@
+package mpi
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+func f64s(vs ...float64) []byte {
+	out := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+func fromBytes(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func TestBcastAllRoots(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8, 16} {
+		for root := 0; root < p; root += maxInt(1, p/3) {
+			c := newComm(t, "perlmutter-cpu", p)
+			payload := []byte{9, 9, byte(root)}
+			got := make([][]byte, p)
+			err := c.Launch(func(r *Rank) {
+				var data []byte
+				if r.Rank() == root {
+					data = payload
+				}
+				got[r.Rank()] = r.Bcast(root, data)
+			})
+			if err != nil {
+				t.Fatalf("P=%d root=%d: %v", p, root, err)
+			}
+			for rk := range got {
+				if !bytes.Equal(got[rk], payload) {
+					t.Fatalf("P=%d root=%d rank=%d got %v", p, root, rk, got[rk])
+				}
+			}
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, p := range []int{1, 3, 4, 7, 8} {
+		c := newComm(t, "perlmutter-cpu", p)
+		var rootResult []float64
+		err := c.Launch(func(r *Rank) {
+			contrib := f64s(float64(r.Rank()+1), 100)
+			res := r.Reduce(0, contrib, SumFloat64)
+			if r.Rank() == 0 {
+				rootResult = fromBytes(res)
+			} else if res != nil {
+				t.Errorf("non-root got non-nil reduce result")
+			}
+		})
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		wantSum := float64(p*(p+1)) / 2
+		if rootResult[0] != wantSum || rootResult[1] != float64(100*p) {
+			t.Fatalf("P=%d: reduce = %v, want [%v %v]", p, rootResult, wantSum, 100*p)
+		}
+	}
+}
+
+func TestAllreduceSumAndMax(t *testing.T) {
+	for _, p := range []int{2, 4, 6, 8} { // mixes power-of-two and not
+		c := newComm(t, "perlmutter-cpu", p)
+		sums := make([]float64, p)
+		maxs := make([]float64, p)
+		err := c.Launch(func(r *Rank) {
+			me := float64(r.Rank() + 1)
+			sums[r.Rank()] = fromBytes(r.Allreduce(f64s(me), SumFloat64))[0]
+			maxs[r.Rank()] = fromBytes(r.Allreduce(f64s(me), MaxFloat64))[0]
+		})
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		want := float64(p*(p+1)) / 2
+		for rk := range sums {
+			if sums[rk] != want {
+				t.Fatalf("P=%d rank=%d allreduce-sum = %v, want %v", p, rk, sums[rk], want)
+			}
+			if maxs[rk] != float64(p) {
+				t.Fatalf("P=%d rank=%d allreduce-max = %v, want %v", p, rk, maxs[rk], float64(p))
+			}
+		}
+	}
+}
+
+func TestAllgatherRing(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8} {
+		c := newComm(t, "perlmutter-cpu", p)
+		outs := make([][]byte, p)
+		err := c.Launch(func(r *Rank) {
+			outs[r.Rank()] = r.Allgather([]byte{byte(r.Rank()), byte(r.Rank() + 100)})
+		})
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		for rk, out := range outs {
+			if len(out) != 2*p {
+				t.Fatalf("P=%d rank=%d len=%d", p, rk, len(out))
+			}
+			for i := 0; i < p; i++ {
+				if out[2*i] != byte(i) || out[2*i+1] != byte(i+100) {
+					t.Fatalf("P=%d rank=%d out=%v", p, rk, out)
+				}
+			}
+		}
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 5, 8} {
+		c := newComm(t, "perlmutter-cpu", p)
+		ok := make([]bool, p)
+		err := c.Launch(func(r *Rank) {
+			blocks := make([][]byte, p)
+			for i := range blocks {
+				blocks[i] = []byte{byte(r.Rank()), byte(i)}
+			}
+			out := r.Alltoall(blocks)
+			good := true
+			for i := range out {
+				// Block from rank i carries (i, myRank).
+				if len(out[i]) != 2 || out[i][0] != byte(i) || out[i][1] != byte(r.Rank()) {
+					good = false
+				}
+			}
+			ok[r.Rank()] = good
+		})
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		for rk, g := range ok {
+			if !g {
+				t.Fatalf("P=%d rank=%d received wrong blocks", p, rk)
+			}
+		}
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	const p = 6
+	c := newComm(t, "perlmutter-cpu", p)
+	var gathered []byte
+	scattered := make([][]byte, p)
+	err := c.Launch(func(r *Rank) {
+		g := r.Gather(2, []byte{byte(r.Rank() * 3)})
+		if r.Rank() == 2 {
+			gathered = g
+		} else if g != nil {
+			t.Errorf("non-root gather returned data")
+		}
+		var blocks [][]byte
+		if r.Rank() == 0 {
+			blocks = make([][]byte, p)
+			for i := range blocks {
+				blocks[i] = []byte{byte(i), byte(i * 2)}
+			}
+		}
+		scattered[r.Rank()] = r.Scatter(0, blocks)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p; i++ {
+		if gathered[i] != byte(i*3) {
+			t.Fatalf("gathered = %v", gathered)
+		}
+		if scattered[i][0] != byte(i) || scattered[i][1] != byte(i*2) {
+			t.Fatalf("scattered[%d] = %v", i, scattered[i])
+		}
+	}
+}
+
+func TestCollectivesInterleaveWithP2P(t *testing.T) {
+	// Collective internal tags must never swallow user messages.
+	c := newComm(t, "perlmutter-cpu", 4)
+	var userByte byte
+	err := c.Launch(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Isend(3, 42, []byte{77})
+		}
+		r.Allreduce(f64s(1), SumFloat64)
+		r.Barrier()
+		if r.Rank() == 3 {
+			userByte = r.Recv(0, 42).Data[0]
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if userByte != 77 {
+		t.Fatalf("user message lost: %d", userByte)
+	}
+}
+
+func TestBcastLatencyScalesLogarithmically(t *testing.T) {
+	// A binomial bcast costs ~ceil(log2 P) latencies: P=16 should be
+	// about 4x a single hop, far below 15x.
+	elapsed := func(p int) float64 {
+		c := newComm(t, "perlmutter-cpu", p)
+		err := c.Launch(func(r *Rank) {
+			var d []byte
+			if r.Rank() == 0 {
+				d = []byte{1}
+			}
+			r.Bcast(0, d)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Elapsed().Microseconds()
+	}
+	t2 := elapsed(2)
+	t16 := elapsed(16)
+	if ratio := t16 / t2; ratio > 6 {
+		t.Fatalf("bcast P=16/P=2 ratio = %.1f, want ~log scaling", ratio)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

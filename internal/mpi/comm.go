@@ -1,0 +1,179 @@
+// Package mpi provides a simulated Message Passing Interface with the
+// two execution models the paper compares:
+//
+//   - two-sided: tag-matched nonblocking sends and receives
+//     (Isend/Irecv/Recv/Wait/Waitall) with an eager protocol and an
+//     unexpected-message queue, plus a dissemination Barrier built
+//     from real messages so synchronization pays realistic latency;
+//   - one-sided (MPI-3 RMA): windows with Put/Get/Accumulate,
+//     Win_fence, Win_flush, Win_flush_local, Fetch_and_op and
+//     Compare_and_swap (see rma.go).
+//
+// All costs (per-op overhead, injection gap, software latency, wire
+// time, link contention) come from the machine's calibrated transport
+// parameters via internal/runtime; this package only implements
+// semantics and charges the costs in the right places.
+package mpi
+
+import (
+	"fmt"
+
+	"msgroofline/internal/machine"
+	"msgroofline/internal/runtime"
+	"msgroofline/internal/sim"
+)
+
+// Wildcards for Recv/Irecv matching.
+const (
+	// AnySource matches a message from any rank.
+	AnySource = -1
+	// AnyTag matches a message with any tag.
+	AnyTag = -1
+)
+
+// internal tags are negative and spaced so user tags (>= 0) never
+// collide with barrier traffic.
+const barrierTagBase = -2
+
+// Comm is a communicator spanning every rank of a simulated world.
+type Comm struct {
+	world  *runtime.World
+	two    machine.TransportParams
+	one    machine.TransportParams
+	has1s  bool
+	ntf    machine.TransportParams
+	hasNtf bool
+	ranks  []*Rank
+	wins   []*Win
+	// sendHook, when set, observes every user-level two-sided message
+	// at delivery time (internal barrier traffic is excluded).
+	sendHook MsgHook
+}
+
+// MsgHook observes a message: source, destination, payload size, the
+// time the sender issued it, and the time the last byte was delivered.
+type MsgHook func(src, dst int, bytes int64, issue, deliver sim.Time)
+
+// SetSendHook installs a hook observing user two-sided messages
+// (tag >= 0) at delivery. Call before Launch.
+func (c *Comm) SetSendHook(h MsgHook) { c.sendHook = h }
+
+// NewComm builds a communicator with n ranks on the named machine
+// configuration. The machine must offer two-sided MPI (CPU machines);
+// one-sided operations additionally require the OneSided transport.
+func NewComm(cfg *machine.Config, n int) (*Comm, error) {
+	two, ok := cfg.Params(machine.TwoSided)
+	if !ok {
+		return nil, fmt.Errorf("mpi: machine %s has no two-sided transport", cfg.Name)
+	}
+	w, err := runtime.NewWorld(cfg, n)
+	if err != nil {
+		return nil, err
+	}
+	c := &Comm{world: w, two: two}
+	c.one, c.has1s = cfg.Params(machine.OneSided)
+	c.ntf, c.hasNtf = cfg.Params(machine.NotifiedAccess)
+	for r := 0; r < n; r++ {
+		c.ranks = append(c.ranks, &Rank{
+			comm:    c,
+			id:      r,
+			ep:      w.Endpoint(r),
+			arrived: sim.NewCond(w.Eng),
+		})
+	}
+	return c, nil
+}
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// World exposes the underlying simulated world (for stats and
+// engine-level inspection).
+func (c *Comm) World() *runtime.World { return c.world }
+
+// Engine returns the discrete-event engine driving this communicator.
+func (c *Comm) Engine() *sim.Engine { return c.world.Eng }
+
+// Launch spawns one simulated process per rank running body and
+// drives the simulation to completion. It returns the engine error
+// (nil, or a deadlock report naming the stuck ranks).
+func (c *Comm) Launch(body func(r *Rank)) error {
+	for _, r := range c.ranks {
+		rank := r
+		c.world.Eng.Spawn(fmt.Sprintf("rank%d", rank.id), func(p *sim.Proc) {
+			rank.proc = p
+			body(rank)
+		})
+	}
+	return c.world.Run()
+}
+
+// Elapsed returns the simulated time consumed so far.
+func (c *Comm) Elapsed() sim.Time { return c.world.Eng.Now() }
+
+// Rank is one MPI process. All methods must be called from the rank's
+// own simulated process (inside the Launch body).
+type Rank struct {
+	comm *Comm
+	id   int
+	ep   *runtime.Endpoint
+	proc *sim.Proc
+
+	arrived    *sim.Cond   // signaled on message delivery to this rank
+	unexpected []*envelope // delivered but unmatched messages, FIFO
+	posted     []*Request  // posted receives not yet matched, FIFO
+
+	barrierSeq int
+	collSeq    int
+	sendCount  int64
+	recvCount  int64
+}
+
+// envelope is a delivered two-sided message awaiting a matching recv.
+type envelope struct {
+	src, tag int
+	data     []byte
+	at       sim.Time
+}
+
+// Rank returns this process's rank id.
+func (r *Rank) Rank() int { return r.id }
+
+// Size returns the communicator size.
+func (r *Rank) Size() int { return r.comm.Size() }
+
+// Proc returns the simulated process driving this rank.
+func (r *Rank) Proc() *sim.Proc { return r.proc }
+
+// Now returns the current simulated time.
+func (r *Rank) Now() sim.Time { return r.proc.Now() }
+
+// Compute blocks the rank for d of local computation.
+func (r *Rank) Compute(d sim.Time) { r.proc.Sleep(d) }
+
+// Counts reports how many messages this rank has sent and received.
+func (r *Rank) Counts() (sent, received int64) {
+	return r.sendCount, r.recvCount
+}
+
+// Barrier synchronizes all ranks with a dissemination barrier built
+// from ceil(log2(P)) rounds of real 1-byte messages, so its cost
+// scales like log(P) x latency exactly as a software MPI_Barrier does.
+func (r *Rank) Barrier() {
+	p := r.comm.Size()
+	if p == 1 {
+		r.ep.ChargeOp(r.proc, r.comm.two)
+		return
+	}
+	seq := r.barrierSeq
+	r.barrierSeq++
+	round := 0
+	for k := 1; k < p; k <<= 1 {
+		tag := barrierTagBase - (seq*64 + round)
+		dst := (r.id + k) % p
+		src := (r.id - k + p) % p
+		r.Isend(dst, tag, []byte{1})
+		r.Recv(src, tag)
+		round++
+	}
+}

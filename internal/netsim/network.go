@@ -1,0 +1,313 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"msgroofline/internal/sim"
+)
+
+// channelGroup is the set of parallel links (port groups / lanes)
+// carrying traffic from one node to a neighbor. A message picks one
+// member by channel index; concurrent messages on distinct channels
+// do not contend with each other.
+type channelGroup struct {
+	to    string
+	links []*Link
+}
+
+// Network is a directed multigraph of nodes joined by channel groups.
+// Routing is static shortest-path (hop count, ties broken by insertion
+// order), computed lazily and cached.
+type Network struct {
+	nodes     []string
+	nodeIndex map[string]int
+	adj       map[string][]*channelGroup
+	routes    map[[2]string][]*channelGroup
+}
+
+// New returns an empty network.
+func New() *Network {
+	return &Network{
+		nodeIndex: make(map[string]int),
+		adj:       make(map[string][]*channelGroup),
+		routes:    make(map[[2]string][]*channelGroup),
+	}
+}
+
+// AddNode registers a node name. Adding an existing node is a no-op.
+func (n *Network) AddNode(name string) {
+	if _, ok := n.nodeIndex[name]; ok {
+		return
+	}
+	n.nodeIndex[name] = len(n.nodes)
+	n.nodes = append(n.nodes, name)
+}
+
+// Nodes returns all node names in insertion order.
+func (n *Network) Nodes() []string {
+	out := make([]string, len(n.nodes))
+	copy(out, n.nodes)
+	return out
+}
+
+// HasNode reports whether name is a registered node.
+func (n *Network) HasNode(name string) bool {
+	_, ok := n.nodeIndex[name]
+	return ok
+}
+
+// AddLink joins a and b with a bidirectional channel group: `channels`
+// parallel full-duplex links, each with the given per-link bandwidth
+// (bytes/s) and propagation latency. Both endpoints are registered as
+// nodes if needed. Adding a link invalidates cached routes.
+func (n *Network) AddLink(a, b string, bandwidth float64, latency sim.Time, channels int) {
+	if channels < 1 {
+		panic(fmt.Sprintf("netsim: link %s-%s: channels must be >= 1, got %d", a, b, channels))
+	}
+	n.AddNode(a)
+	n.AddNode(b)
+	fwd := &channelGroup{to: b}
+	rev := &channelGroup{to: a}
+	for c := 0; c < channels; c++ {
+		fwd.links = append(fwd.links, NewLink(fmt.Sprintf("%s->%s#%d", a, b, c), bandwidth, latency))
+		rev.links = append(rev.links, NewLink(fmt.Sprintf("%s->%s#%d", b, a, c), bandwidth, latency))
+	}
+	n.adj[a] = append(n.adj[a], fwd)
+	n.adj[b] = append(n.adj[b], rev)
+	n.routes = make(map[[2]string][]*channelGroup)
+}
+
+// path returns the channel groups along the shortest (fewest-hop)
+// route from src to dst, caching the result. It panics on unknown
+// nodes and returns an error for disconnected pairs.
+func (n *Network) path(src, dst string) ([]*channelGroup, error) {
+	if !n.HasNode(src) {
+		panic(fmt.Sprintf("netsim: unknown node %q", src))
+	}
+	if !n.HasNode(dst) {
+		panic(fmt.Sprintf("netsim: unknown node %q", dst))
+	}
+	if src == dst {
+		return nil, nil
+	}
+	key := [2]string{src, dst}
+	if p, ok := n.routes[key]; ok {
+		return p, nil
+	}
+	// BFS over nodes, remembering the group used to reach each node.
+	type hop struct {
+		prev  string
+		group *channelGroup
+	}
+	seen := map[string]hop{src: {}}
+	queue := []string{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == dst {
+			break
+		}
+		for _, g := range n.adj[cur] {
+			if _, ok := seen[g.to]; ok {
+				continue
+			}
+			seen[g.to] = hop{prev: cur, group: g}
+			queue = append(queue, g.to)
+		}
+	}
+	if _, ok := seen[dst]; !ok {
+		return nil, fmt.Errorf("netsim: no route from %q to %q", src, dst)
+	}
+	var rev []*channelGroup
+	for cur := dst; cur != src; {
+		h := seen[cur]
+		rev = append(rev, h.group)
+		cur = h.prev
+	}
+	p := make([]*channelGroup, len(rev))
+	for i := range rev {
+		p[i] = rev[len(rev)-1-i]
+	}
+	n.routes[key] = p
+	return p, nil
+}
+
+// Transfer delivers a message of the given size from src to dst,
+// injected at time at, using channel ch (messages on distinct channel
+// indices ride parallel links where the topology provides them). It
+// returns the delivery time of the last byte, using store-and-forward
+// timing per hop with FIFO link contention.
+func (n *Network) Transfer(at sim.Time, src, dst string, bytes int64, ch int) (sim.Time, error) {
+	p, err := n.path(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	t := at
+	for _, g := range p {
+		l := g.links[((ch%len(g.links))+len(g.links))%len(g.links)]
+		_, t = l.Reserve(t, bytes)
+	}
+	return t, nil
+}
+
+// TransferPacket routes a fixed-occupancy packet (atomic transaction)
+// from src to dst injected at time at on channel ch: each hop is held
+// for `occupancy` against later packets while the packet itself cuts
+// through at propagation latency.
+func (n *Network) TransferPacket(at sim.Time, src, dst string, occupancy sim.Time, ch int) (sim.Time, error) {
+	p, err := n.path(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	t := at
+	for _, g := range p {
+		l := g.links[((ch%len(g.links))+len(g.links))%len(g.links)]
+		_, t = l.ReservePacket(t, occupancy)
+	}
+	return t, nil
+}
+
+// Hops returns the number of hops between src and dst (0 for the same
+// node), or -1 if unreachable.
+func (n *Network) Hops(src, dst string) int {
+	p, err := n.path(src, dst)
+	if err != nil {
+		return -1
+	}
+	return len(p)
+}
+
+// Channels returns the minimum number of parallel channels along the
+// route (the usable injection-splitting width), or 0 if unreachable.
+func (n *Network) Channels(src, dst string) int {
+	p, err := n.path(src, dst)
+	if err != nil {
+		return 0
+	}
+	min := math.MaxInt
+	for _, g := range p {
+		if len(g.links) < min {
+			min = len(g.links)
+		}
+	}
+	if min == math.MaxInt {
+		return 1
+	}
+	return min
+}
+
+// PeakBandwidth returns the single-channel bottleneck bandwidth
+// (bytes/s) along the route, or 0 if unreachable. This is the ceiling
+// a single serialized message stream can achieve.
+func (n *Network) PeakBandwidth(src, dst string) float64 {
+	p, err := n.path(src, dst)
+	if err != nil {
+		return 0
+	}
+	bw := math.Inf(1)
+	for _, g := range p {
+		if b := g.links[0].Bandwidth(); b < bw {
+			bw = b
+		}
+	}
+	if math.IsInf(bw, 1) {
+		return 0
+	}
+	return bw
+}
+
+// AggregateBandwidth returns the bottleneck of per-hop summed channel
+// bandwidth (bytes/s): the ceiling reachable by splitting a message
+// across all parallel channels.
+func (n *Network) AggregateBandwidth(src, dst string) float64 {
+	p, err := n.path(src, dst)
+	if err != nil {
+		return 0
+	}
+	bw := math.Inf(1)
+	for _, g := range p {
+		sum := 0.0
+		for _, l := range g.links {
+			sum += l.Bandwidth()
+		}
+		if sum < bw {
+			bw = sum
+		}
+	}
+	if math.IsInf(bw, 1) {
+		return 0
+	}
+	return bw
+}
+
+// BaseLatency returns the sum of propagation latencies along the
+// route (zero-byte wire time, no contention).
+func (n *Network) BaseLatency(src, dst string) sim.Time {
+	p, err := n.path(src, dst)
+	if err != nil {
+		return 0
+	}
+	var lat sim.Time
+	for _, g := range p {
+		lat += g.links[0].Latency()
+	}
+	return lat
+}
+
+// Reset clears reservation state and counters on every link.
+func (n *Network) Reset() {
+	for _, groups := range n.adj {
+		for _, g := range groups {
+			for _, l := range g.links {
+				l.Reset()
+			}
+		}
+	}
+}
+
+// Stats returns cumulative counters for every link that carried at
+// least one message, sorted by name.
+func (n *Network) Stats() []LinkStats {
+	var out []LinkStats
+	for _, node := range n.nodes {
+		for _, g := range n.adj[node] {
+			for _, l := range g.links {
+				if s := l.Stats(); s.Messages > 0 {
+					out = append(out, s)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TransferCutThrough is the alternative timing model of DESIGN.md
+// ablation #1: the message head propagates hop by hop while the body
+// streams behind it, so serialization is paid once at the bottleneck
+// instead of per hop. Each link is still occupied for the bottleneck
+// serialization time (contention is preserved); only the delivery
+// latency differs from Transfer's store-and-forward timing.
+func (n *Network) TransferCutThrough(at sim.Time, src, dst string, bytes int64, ch int) (sim.Time, error) {
+	p, err := n.path(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	ser := sim.TransferTime(bytes, n.PeakBandwidth(src, dst))
+	t := at
+	for _, g := range p {
+		l := g.links[((ch%len(g.links))+len(g.links))%len(g.links)]
+		start := t
+		if l.freeAt > start {
+			start = l.freeAt
+		}
+		l.freeAt = start + ser
+		l.busy += ser
+		l.bytes += bytes
+		l.messages++
+		t = start + l.lat
+	}
+	return t + ser, nil
+}

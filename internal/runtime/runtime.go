@@ -1,0 +1,240 @@
+// Package runtime glues the simulation layers together: it realizes a
+// machine.Instance as a set of communicating endpoints (one per MPI
+// rank or SHMEM PE) on a shared discrete-event engine, and provides
+// the primitive cost operations the mpi and shmem layers are built
+// from — charging per-op CPU overhead, injecting messages through a
+// NIC with a LogGP gap, timing the wire journey on the netsim fabric,
+// and round-trip remote atomics.
+package runtime
+
+import (
+	"fmt"
+
+	"msgroofline/internal/machine"
+	"msgroofline/internal/sim"
+)
+
+// World is one simulated job: an engine, a machine instance, and one
+// endpoint per rank.
+type World struct {
+	Eng  *sim.Engine
+	Inst *machine.Instance
+	eps  []*Endpoint
+}
+
+// NewWorld builds a world with `ranks` endpoints on the given machine.
+func NewWorld(cfg *machine.Config, ranks int) (*World, error) {
+	inst, err := cfg.Instantiate(ranks)
+	if err != nil {
+		return nil, err
+	}
+	w := &World{Eng: sim.NewEngine(), Inst: inst}
+	channels := 1
+	if cfg.GPU != nil {
+		channels = cfg.GPU.Channels
+	}
+	for r := 0; r < ranks; r++ {
+		w.eps = append(w.eps, &Endpoint{
+			world:    w,
+			rank:     r,
+			chanFree: make([]sim.Time, channels),
+		})
+	}
+	return w, nil
+}
+
+// Size returns the number of endpoints (ranks/PEs).
+func (w *World) Size() int { return len(w.eps) }
+
+// Endpoint returns the endpoint for a rank.
+func (w *World) Endpoint(rank int) *Endpoint {
+	return w.eps[rank]
+}
+
+// Run drives the simulation to completion and surfaces deadlocks.
+func (w *World) Run() error { return w.Eng.Run() }
+
+// Endpoint is one rank's attachment to the fabric: its placement plus
+// a NIC with one or more injection channels, each pacing injections at
+// the transport's LogGP gap.
+type Endpoint struct {
+	world    *World
+	rank     int
+	chanFree []sim.Time // per-channel earliest next injection
+	rr       int        // round-robin cursor for AutoChannel
+	injected int64      // messages injected (stats)
+	bytesOut int64
+	// atomicFree serializes remote atomics targeting this endpoint's
+	// memory (one at a time at the memory controller).
+	atomicFree sim.Time
+}
+
+// Rank returns the endpoint's rank id.
+func (ep *Endpoint) Rank() int { return ep.rank }
+
+// Channels returns the number of NIC injection channels.
+func (ep *Endpoint) Channels() int { return len(ep.chanFree) }
+
+// Stats returns cumulative injection counters.
+func (ep *Endpoint) Stats() (messages, bytes int64) {
+	return ep.injected, ep.bytesOut
+}
+
+// AutoChannel returns the next channel in round-robin order; message
+// streams that do not care about placement use it to spread load over
+// parallel links.
+func (ep *Endpoint) AutoChannel() int {
+	c := ep.rr
+	ep.rr = (ep.rr + 1) % len(ep.chanFree)
+	return c
+}
+
+// ChargeOp blocks p for one library-operation overhead.
+func (ep *Endpoint) ChargeOp(p *sim.Proc, tp machine.TransportParams) {
+	p.Sleep(tp.OpOverhead)
+}
+
+// Compute blocks p for d of CPU (or GPU SM) time.
+func (ep *Endpoint) Compute(p *sim.Proc, d sim.Time) {
+	p.Sleep(d)
+}
+
+// Inject sends bytes toward dst on the given channel and schedules
+// onDeliver at the arrival time of the last byte. The calling process
+// is NOT blocked (nonblocking semantics); callers charge op overhead
+// separately via ChargeOp. The injection is paced by the transport
+// gap on the chosen channel, then the message takes the software
+// pipeline latency plus the fabric (or shared-memory) journey.
+func (ep *Endpoint) Inject(tp machine.TransportParams, dst int, bytes int64, ch int, onDeliver func(at sim.Time)) {
+	if dst < 0 || dst >= ep.world.Size() {
+		panic(fmt.Sprintf("runtime: rank %d injecting to invalid destination %d", ep.rank, dst))
+	}
+	eng := ep.world.Eng
+	now := eng.Now()
+	c := ((ch % len(ep.chanFree)) + len(ep.chanFree)) % len(ep.chanFree)
+	start := now
+	if ep.chanFree[c] > start {
+		start = ep.chanFree[c]
+	}
+	ep.chanFree[c] = start + tp.Gap
+	ep.injected++
+	ep.bytesOut += bytes
+
+	deliver := ep.wireTime(tp, start, dst, bytes, c)
+	eng.At(deliver, func() { onDeliver(deliver) })
+}
+
+// wireTime computes the arrival time of the last byte at dst for a
+// message leaving the NIC at start.
+func (ep *Endpoint) wireTime(tp machine.TransportParams, start sim.Time, dst int, bytes int64, ch int) sim.Time {
+	inst := ep.world.Inst
+	src := ep.rank
+	if inst.SameNode(src, dst) {
+		// Shared memory: pipeline latency + copy at memory bandwidth.
+		return start + tp.SoftLatency + inst.Cfg.MemLatency +
+			sim.TransferTime(bytes, inst.Cfg.MemBandwidth)
+	}
+	lat := tp.SoftLatency
+	if tp.CrossSocketExtra > 0 && inst.CrossSocket(src, dst) {
+		lat += tp.CrossSocketExtra
+	}
+	t := start + lat
+	srcPlace, dstPlace := inst.Places[src], inst.Places[dst]
+	if tp.HostStaged && srcPlace.Host != "" && dstPlace.Host != "" {
+		// Device -> host copy, host-to-host MPI, host -> device copy:
+		// three fabric legs, each reserving its links.
+		legs := [][2]string{
+			{srcPlace.Node, srcPlace.Host},
+			{srcPlace.Host, dstPlace.Host},
+			{dstPlace.Host, dstPlace.Node},
+		}
+		for _, leg := range legs {
+			if leg[0] == leg[1] {
+				continue
+			}
+			at, err := inst.Net.Transfer(t, leg[0], leg[1], bytes, ch)
+			if err != nil {
+				panic(fmt.Sprintf("runtime: %v", err))
+			}
+			t = at
+		}
+		return t
+	}
+	at, err := inst.Net.Transfer(t, srcPlace.Node, dstPlace.Node, bytes, ch)
+	if err != nil {
+		panic(fmt.Sprintf("runtime: %v", err))
+	}
+	return at
+}
+
+// WireLatency is the zero-contention propagation latency from this
+// endpoint to dst: the fabric's base latency, or the shared-memory
+// latency when the ranks co-reside. Hardware atomics ride this path
+// directly, bypassing the software pipeline latency that full
+// messages pay.
+func (ep *Endpoint) WireLatency(dst int) sim.Time {
+	inst := ep.world.Inst
+	if inst.SameNode(ep.rank, dst) {
+		return inst.Cfg.MemLatency
+	}
+	return inst.Net.BaseLatency(inst.Places[ep.rank].Node, inst.Places[dst].Node)
+}
+
+// RemoteAtomic performs a blocking remote atomic against dst: the
+// calling process pays one op overhead, a request flight, the remote
+// AtomicTime service, and the response flight. apply runs at the
+// remote service instant (mutating target memory) and its return
+// value is handed back to the caller.
+//
+// Atomic request/response packets are tiny and bypass the data-path
+// gap pacing; hardware atomics ride a dedicated queue. Contention for
+// the remote location itself is serialized by atomicFree on the
+// target endpoint.
+func (ep *Endpoint) RemoteAtomic(p *sim.Proc, tp machine.TransportParams, dst int, apply func() uint64) uint64 {
+	ep.ChargeOp(p, tp)
+	target := ep.world.eps[dst]
+	eng := ep.world.Eng
+
+	arrive := ep.atomicFlight(tp, ep.rank, dst, eng.Now())
+	// Serialize atomics at the target memory controller.
+	svcStart := arrive
+	if target.atomicFree > svcStart {
+		svcStart = target.atomicFree
+	}
+	svcEnd := svcStart + tp.AtomicTime
+	target.atomicFree = svcEnd
+	respond := ep.atomicFlight(tp, dst, ep.rank, svcEnd)
+
+	var result uint64
+	done := sim.NewCond(eng)
+	fired := false
+	eng.At(svcEnd, func() { result = apply() })
+	eng.At(respond, func() {
+		fired = true
+		done.Broadcast()
+	})
+	done.WaitFor(p, func() bool { return fired })
+	return result
+}
+
+// atomicFlight times one direction of an atomic transaction from
+// rank `from` to rank `to` leaving at `at`. When the transport sets
+// AtomicLinkOccupancy, the packet holds each fabric link on the path
+// for that long (transaction-rate-limited fabrics); otherwise it
+// rides at pure propagation latency.
+func (ep *Endpoint) atomicFlight(tp machine.TransportParams, from, to int, at sim.Time) sim.Time {
+	inst := ep.world.Inst
+	if inst.SameNode(from, to) {
+		return at + inst.Cfg.MemLatency
+	}
+	a, b := inst.Places[from].Node, inst.Places[to].Node
+	if tp.AtomicLinkOccupancy > 0 {
+		src := ep.world.eps[from]
+		arrive, err := inst.Net.TransferPacket(at, a, b, tp.AtomicLinkOccupancy, src.AutoChannel())
+		if err != nil {
+			panic(fmt.Sprintf("runtime: %v", err))
+		}
+		return arrive
+	}
+	return at + inst.Net.BaseLatency(a, b)
+}

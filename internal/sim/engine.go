@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Event is a scheduled callback. Events with equal timestamps fire in
+// the order they were scheduled (FIFO), which keeps runs deterministic.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (ev *Event) Cancel() { ev.canceled = true }
+
+// Canceled reports whether Cancel was called.
+func (ev *Event) Canceled() bool { return ev.canceled }
+
+// At returns the simulated time the event is scheduled for.
+func (ev *Event) At() Time { return ev.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a sequential discrete-event simulator. It is not safe for
+// concurrent use from multiple goroutines except through the Proc
+// coroutine handshake, which guarantees only one simulated process (or
+// the engine itself) runs at any moment.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+
+	turn     chan struct{} // procs yield control back on this channel
+	live     int           // spawned, not yet finished procs
+	parked   map[*Proc]struct{}
+	running  *Proc
+	executed uint64
+	maxEv    uint64 // 0 = unlimited
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{
+		turn:   make(chan struct{}),
+		parked: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events dispatched so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// SetEventLimit installs a safety cap on dispatched events; Run returns
+// an error when it is exceeded. Zero (the default) means no limit.
+func (e *Engine) SetEventLimit(n uint64) { e.maxEv = n }
+
+// Schedule registers fn to run after delay. A negative delay is an
+// immediate event (fires at the current time, after already-queued
+// events with the same timestamp).
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At registers fn to run at absolute time t (clamped to now).
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// step dispatches the next event. It reports false when the queue is
+// empty.
+func (e *Engine) step() bool {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		e.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until none remain. It returns a DeadlockError
+// if simulated processes are still parked when the queue drains, or an
+// event-limit error if the configured cap is exceeded.
+func (e *Engine) Run() error {
+	for e.step() {
+		if e.maxEv != 0 && e.executed > e.maxEv {
+			return fmt.Errorf("sim: event limit %d exceeded at t=%v", e.maxEv, e.now)
+		}
+	}
+	if len(e.parked) > 0 {
+		return e.deadlock()
+	}
+	return nil
+}
+
+// RunUntil dispatches events with timestamps <= t, then advances the
+// clock to t. Parked processes are not treated as a deadlock (they may
+// be legitimately waiting for stimuli the caller will inject later).
+func (e *Engine) RunUntil(t Time) error {
+	for e.events.Len() > 0 {
+		next := e.events[0]
+		if next.canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		e.step()
+		if e.maxEv != 0 && e.executed > e.maxEv {
+			return fmt.Errorf("sim: event limit %d exceeded at t=%v", e.maxEv, e.now)
+		}
+	}
+	if t > e.now {
+		e.now = t
+	}
+	return nil
+}
+
+// DeadlockError reports simulated processes that can never resume: the
+// event queue drained while they were parked on conditions.
+type DeadlockError struct {
+	Time   Time
+	Parked []string // process names, sorted
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%v: %d process(es) parked forever: %v",
+		d.Time, len(d.Parked), d.Parked)
+}
+
+func (e *Engine) deadlock() error {
+	names := make([]string, 0, len(e.parked))
+	for p := range e.parked {
+		names = append(names, p.name)
+	}
+	sort.Strings(names)
+	return &DeadlockError{Time: e.now, Parked: names}
+}

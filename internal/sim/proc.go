@@ -1,0 +1,177 @@
+package sim
+
+// Proc is a simulated process: a goroutine that runs only when the
+// engine hands it the turn, and parks whenever it waits for simulated
+// time to pass or for a condition to be signaled. At most one Proc (or
+// the engine loop) executes at any wall-clock instant, so simulated
+// code needs no locking and every run is deterministic.
+type Proc struct {
+	eng     *Engine
+	name    string
+	resume  chan struct{}
+	done    bool
+	preWake func() // set during WaitTimeout to discriminate signal vs timeout
+}
+
+// Spawn creates a simulated process running fn. The process starts at
+// the current simulated time (after already-queued events at that
+// time). Spawn may be called from the engine's context (inside events
+// or other processes) or before Run.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.live++
+	go func() {
+		<-p.resume // wait for the first turn
+		fn(p)
+		p.done = true
+		e.live--
+		e.turn <- struct{}{} // final yield
+	}()
+	e.Schedule(0, func() { e.dispatch(p) })
+	return p
+}
+
+// dispatch hands the turn to p and blocks until p parks or finishes.
+// It must be called from the engine loop (inside an event callback).
+func (e *Engine) dispatch(p *Proc) {
+	if p.done {
+		return
+	}
+	prev := e.running
+	e.running = p
+	p.resume <- struct{}{}
+	<-e.turn
+	e.running = prev
+}
+
+// park yields the turn back to the engine and blocks until dispatched
+// again. The caller must have arranged a wakeup (a scheduled event or
+// a condition registration) or the run will end in a deadlock report.
+func (p *Proc) park() {
+	p.eng.turn <- struct{}{}
+	<-p.resume
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Sleep advances this process's local view of time by d: it parks and
+// resumes once the simulated clock has advanced past d. Sleep(0) yields
+// the turn (other events at the same timestamp run first).
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.Schedule(d, func() { p.eng.dispatch(p) })
+	p.park()
+}
+
+// Cond is a condition variable for simulated processes. Waiters park;
+// Signal and Broadcast schedule wakeups at the current simulated time.
+// All operations must happen inside the engine's context.
+type Cond struct {
+	eng     *Engine
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable bound to e.
+func NewCond(e *Engine) *Cond { return &Cond{eng: e} }
+
+// Wait parks p until the condition is signaled. As with sync.Cond, the
+// awakened process must re-check its predicate.
+func (c *Cond) Wait(p *Proc) {
+	if p.eng != c.eng {
+		panic("sim: Cond.Wait with process from a different engine")
+	}
+	c.waiters = append(c.waiters, p)
+	c.eng.parked[p] = struct{}{}
+	p.park()
+}
+
+// WaitTimeout parks p until the condition is signaled or d elapses,
+// whichever comes first. It reports true if the wakeup came from a
+// signal and false on timeout.
+func (c *Cond) WaitTimeout(p *Proc, d Time) bool {
+	signaled := false
+	fired := false
+	c.waiters = append(c.waiters, p)
+	c.eng.parked[p] = struct{}{}
+	var timer *Event
+	timer = c.eng.Schedule(d, func() {
+		if fired {
+			return
+		}
+		fired = true
+		c.remove(p)
+		delete(c.eng.parked, p)
+		c.eng.dispatch(p)
+	})
+	p.preWake = func() {
+		if !fired {
+			fired = true
+			signaled = true
+			timer.Cancel()
+		}
+	}
+	p.park()
+	p.preWake = nil
+	return signaled
+}
+
+func (c *Cond) remove(p *Proc) {
+	for i, w := range c.waiters {
+		if w == p {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	delete(c.eng.parked, p)
+	c.eng.Schedule(0, func() {
+		if p.preWake != nil {
+			p.preWake()
+		}
+		c.eng.dispatch(p)
+	})
+}
+
+// Broadcast wakes every waiting process, in FIFO order.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		delete(c.eng.parked, p)
+		q := p
+		c.eng.Schedule(0, func() {
+			if q.preWake != nil {
+				q.preWake()
+			}
+			c.eng.dispatch(q)
+		})
+	}
+}
+
+// WaitFor blocks p until pred() is true, re-checking each time c is
+// signaled. pred must be cheap and side-effect free.
+func (c *Cond) WaitFor(p *Proc, pred func() bool) {
+	for !pred() {
+		c.Wait(p)
+	}
+}
+
+// NumWaiters reports how many processes are currently parked on c.
+func (c *Cond) NumWaiters() int { return len(c.waiters) }

@@ -1,0 +1,285 @@
+// Package stats provides the small set of statistics and fitting
+// utilities the experiment harness needs: summary statistics,
+// percentiles, simple linear regression, and dense least-squares
+// solving via normal equations (used to fit LogGP parameters from
+// measured sweeps).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs (all values must be
+// positive), or NaN for empty or invalid input.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Variance returns the population variance of xs, or NaN for empty
+// input.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the smallest element, or NaN for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element, or NaN for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks. It returns NaN for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 || p < 0 || p > 100 {
+		return math.NaN()
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// LinearFit fits y = a + b*x by ordinary least squares and returns
+// (a, b). It returns NaNs when the fit is degenerate (fewer than two
+// points or zero variance in x).
+func LinearFit(x, y []float64) (a, b float64) {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN(), math.NaN()
+	}
+	mx, my := Mean(x), Mean(y)
+	num, den := 0.0, 0.0
+	for i := range x {
+		num += (x[i] - mx) * (y[i] - my)
+		den += (x[i] - mx) * (x[i] - mx)
+	}
+	if den == 0 {
+		return math.NaN(), math.NaN()
+	}
+	b = num / den
+	a = my - b*mx
+	return a, b
+}
+
+// ErrSingular is returned when a least-squares system has no unique
+// solution.
+var ErrSingular = errors.New("stats: singular system")
+
+// LeastSquares solves min ||A·c - y||² for c, where A is given row by
+// row (each row one observation, columns the regressors). It forms the
+// normal equations AᵀA c = Aᵀy and solves by Gaussian elimination with
+// partial pivoting, which is plenty for the tiny (<=4 parameter)
+// systems this repository fits.
+func LeastSquares(rows [][]float64, y []float64) ([]float64, error) {
+	if len(rows) == 0 || len(rows) != len(y) {
+		return nil, errors.New("stats: mismatched or empty observations")
+	}
+	k := len(rows[0])
+	if k == 0 {
+		return nil, errors.New("stats: zero regressors")
+	}
+	for _, r := range rows {
+		if len(r) != k {
+			return nil, errors.New("stats: ragged rows")
+		}
+	}
+	// Normal equations.
+	ata := make([][]float64, k)
+	aty := make([]float64, k)
+	for i := range ata {
+		ata[i] = make([]float64, k)
+	}
+	for r, row := range rows {
+		for i := 0; i < k; i++ {
+			aty[i] += row[i] * y[r]
+			for j := 0; j < k; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	return SolveLinear(ata, aty)
+}
+
+// SolveLinear solves the dense square system M·x = b by Gaussian
+// elimination with partial pivoting. M and b are modified in place.
+func SolveLinear(m [][]float64, b []float64) ([]float64, error) {
+	n := len(m)
+	if n == 0 || len(b) != n {
+		return nil, errors.New("stats: bad system shape")
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-300 {
+			return nil, ErrSingular
+		}
+		m[col], m[piv] = m[piv], m[col]
+		b[col], b[piv] = b[piv], b[col]
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= m[r][c] * x[c]
+		}
+		x[r] = s / m[r][r]
+	}
+	return x, nil
+}
+
+// NonNegativeLeastSquares solves min ||A·c - y||² subject to c >= 0 by
+// an active-set strategy specialized for the tiny systems here: it
+// tries the unconstrained solution, and while any coefficient is
+// negative, pins the most negative one to zero and re-solves on the
+// remaining columns. Good enough for 2-4 parameter physical fits where
+// negative values are non-physical noise.
+func NonNegativeLeastSquares(rows [][]float64, y []float64) ([]float64, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("stats: empty observations")
+	}
+	k := len(rows[0])
+	active := make([]bool, k) // true = pinned to zero
+	for iter := 0; iter <= k; iter++ {
+		cols := make([]int, 0, k)
+		for j := 0; j < k; j++ {
+			if !active[j] {
+				cols = append(cols, j)
+			}
+		}
+		out := make([]float64, k)
+		if len(cols) == 0 {
+			return out, nil
+		}
+		sub := make([][]float64, len(rows))
+		for i, r := range rows {
+			sr := make([]float64, len(cols))
+			for jj, j := range cols {
+				sr[jj] = r[j]
+			}
+			sub[i] = sr
+		}
+		c, err := LeastSquares(sub, y)
+		if err != nil {
+			return nil, err
+		}
+		worst, worstVal := -1, 0.0
+		for jj, j := range cols {
+			out[j] = c[jj]
+			if c[jj] < worstVal {
+				worst, worstVal = j, c[jj]
+			}
+		}
+		if worst == -1 {
+			return out, nil
+		}
+		active[worst] = true
+	}
+	return nil, errors.New("stats: NNLS failed to converge")
+}
+
+// RSquared returns the coefficient of determination of predictions
+// pred against observations y.
+func RSquared(y, pred []float64) float64 {
+	if len(y) != len(pred) || len(y) == 0 {
+		return math.NaN()
+	}
+	my := Mean(y)
+	ssTot, ssRes := 0.0, 0.0
+	for i := range y {
+		ssTot += (y[i] - my) * (y[i] - my)
+		ssRes += (y[i] - pred[i]) * (y[i] - pred[i])
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return math.NaN()
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,274 @@
+package stencil
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"msgroofline/internal/machine"
+	"msgroofline/internal/mpi"
+	"msgroofline/internal/shmem"
+	"msgroofline/internal/sim"
+	"msgroofline/internal/trace"
+)
+
+func encodeFloats(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(f))
+	}
+	return out
+}
+
+func decodeFloats(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// RunTwoSided executes the two-sided variant: per iteration each rank
+// posts Irecv for every neighbor halo, Isends its own four halos, and
+// closes the exchange with Waitall before computing.
+func RunTwoSided(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	l := layout{px: cfg.PX, py: cfg.PY, nx: cfg.Grid / cfg.PX, ny: cfg.Grid / cfg.PY}
+	ranks := cfg.PX * cfg.PY
+	c, err := mpi.NewComm(cfg.Machine, ranks)
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.New()
+	c.SetSendHook(func(src, dst int, bytes int64, issue, deliver sim.Time) {
+		rec.Record(trace.Event{Src: src, Dst: dst, Bytes: bytes, Issue: issue, Deliver: deliver})
+	})
+	sums := make([]float64, ranks)
+	err = c.Launch(func(r *mpi.Rank) {
+		nbrs := l.neighbors(r.Rank())
+		var t *tile
+		if cfg.Verify {
+			t = newTile(l.nx, l.ny)
+			t.initTile(l, r.Rank(), cfg.Grid)
+		}
+		comp := computeTime(l, cfg)
+		for iter := 0; iter < cfg.Iters; iter++ {
+			var reqs []*mpi.Request
+			var recvDirs []int
+			var recvs []*mpi.Request
+			for dir, nb := range nbrs {
+				if nb < 0 {
+					continue
+				}
+				// The neighbor sends its halo tagged with its own
+				// direction, which is opposite(dir) from here.
+				rq := r.Irecv(nb, iter*4+opposite(dir))
+				reqs = append(reqs, rq)
+				recvs = append(recvs, rq)
+				recvDirs = append(recvDirs, dir)
+			}
+			for dir, nb := range nbrs {
+				if nb < 0 {
+					continue
+				}
+				var payload []byte
+				if cfg.Verify {
+					payload = encodeFloats(t.extract(dir))
+				} else {
+					payload = make([]byte, l.haloBytes(dir))
+				}
+				reqs = append(reqs, r.Isend(nb, iter*4+dir, payload))
+			}
+			r.Waitall(reqs)
+			rec.Sync()
+			if cfg.Verify {
+				for k, rq := range recvs {
+					t.inject(recvDirs[k], decodeFloats(rq.Data))
+				}
+				t.step()
+			}
+			r.Compute(comp)
+		}
+		if cfg.Verify {
+			sums[r.Rank()] = t.checksum()
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("stencil two-sided: %w", err)
+	}
+	return finish(cfg, c.Elapsed(), rec, sums, ranks), nil
+}
+
+// RunOneSided executes the one-sided variant: four MPI_Put into the
+// neighbors' halo windows inside a pair of MPI_Win_fence (§III-A).
+func RunOneSided(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	l := layout{px: cfg.PX, py: cfg.PY, nx: cfg.Grid / cfg.PX, ny: cfg.Grid / cfg.PY}
+	ranks := cfg.PX * cfg.PY
+	c, err := mpi.NewComm(cfg.Machine, ranks)
+	if err != nil {
+		return nil, err
+	}
+	// Window layout: 4 halo slots, each big enough for the larger
+	// halo direction.
+	slot := 8 * l.nx
+	if 8*l.ny > slot {
+		slot = 8 * l.ny
+	}
+	win, err := c.NewWin(4 * slot)
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.New()
+	win.SetHook(func(src, dst int, bytes int64, issue, deliver sim.Time) {
+		rec.Record(trace.Event{Src: src, Dst: dst, Bytes: bytes, Issue: issue, Deliver: deliver})
+	})
+	sums := make([]float64, ranks)
+	err = c.Launch(func(r *mpi.Rank) {
+		nbrs := l.neighbors(r.Rank())
+		var t *tile
+		if cfg.Verify {
+			t = newTile(l.nx, l.ny)
+			t.initTile(l, r.Rank(), cfg.Grid)
+		}
+		comp := computeTime(l, cfg)
+		for iter := 0; iter < cfg.Iters; iter++ {
+			for dir, nb := range nbrs {
+				if nb < 0 {
+					continue
+				}
+				var payload []byte
+				if cfg.Verify {
+					payload = encodeFloats(t.extract(dir))
+				} else {
+					payload = make([]byte, l.haloBytes(dir))
+				}
+				// My dir-halo lands in the neighbor's opposite slot.
+				r.Put(win, nb, opposite(dir)*slot, payload)
+			}
+			r.Fence(win)
+			rec.Sync()
+			if cfg.Verify {
+				for dir, nb := range nbrs {
+					if nb < 0 {
+						continue
+					}
+					data := win.Local(r.Rank())[dir*slot : dir*slot+int(l.haloBytes(dir))]
+					t.inject(dir, decodeFloats(data))
+				}
+				t.step()
+			}
+			r.Compute(comp)
+		}
+		if cfg.Verify {
+			sums[r.Rank()] = t.checksum()
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("stencil one-sided: %w", err)
+	}
+	return finish(cfg, c.Elapsed(), rec, sums, ranks), nil
+}
+
+// RunGPU executes the GPU variant: nvshmem put-with-signal toward
+// each neighbor, the receiver waiting on wait_until_all, with
+// parity-double-buffered halo slots so no barrier is needed.
+func RunGPU(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Machine.Kind != machine.GPU {
+		return nil, fmt.Errorf("stencil: RunGPU needs a GPU machine, got %s", cfg.Machine.Name)
+	}
+	l := layout{px: cfg.PX, py: cfg.PY, nx: cfg.Grid / cfg.PX, ny: cfg.Grid / cfg.PY}
+	npes := cfg.PX * cfg.PY
+	slot := 8 * l.nx
+	if 8*l.ny > slot {
+		slot = 8 * l.ny
+	}
+	// Heap: 2 parities x 4 halo slots, then 2 parities x 4 signals.
+	sigBase := 8 * slot
+	heap := sigBase + 2*4*8
+	j, err := shmem.NewJob(cfg.Machine, npes, heap)
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.New()
+	j.SetPutHook(func(src, dst int, bytes int64, issue, deliver sim.Time) {
+		rec.Record(trace.Event{Src: src, Dst: dst, Bytes: bytes, Issue: issue, Deliver: deliver})
+	})
+	sums := make([]float64, npes)
+	err = j.Launch(func(c *shmem.Ctx) {
+		me := c.MyPE()
+		nbrs := l.neighbors(me)
+		var t *tile
+		if cfg.Verify {
+			t = newTile(l.nx, l.ny)
+			t.initTile(l, me, cfg.Grid)
+		}
+		comp := computeTime(l, cfg)
+		for iter := 0; iter < cfg.Iters; iter++ {
+			parity := iter % 2
+			for dir, nb := range nbrs {
+				if nb < 0 {
+					continue
+				}
+				var payload []byte
+				if cfg.Verify {
+					payload = encodeFloats(t.extract(dir))
+				} else {
+					payload = make([]byte, l.haloBytes(dir))
+				}
+				dstSlot := (parity*4 + opposite(dir)) * slot
+				dstSig := sigBase + (parity*4+opposite(dir))*8
+				c.PutSignalNBI(nb, dstSlot, payload, dstSig, uint64(iter+1))
+			}
+			var sigs []int
+			for dir, nb := range nbrs {
+				if nb < 0 {
+					continue
+				}
+				sigs = append(sigs, sigBase+(parity*4+dir)*8)
+			}
+			c.WaitUntilAll(sigs, uint64(iter+1))
+			rec.Sync()
+			if cfg.Verify {
+				for dir, nb := range nbrs {
+					if nb < 0 {
+						continue
+					}
+					off := (parity*4 + dir) * slot
+					data := c.PE().Heap()[off : off+int(l.haloBytes(dir))]
+					t.inject(dir, decodeFloats(data))
+				}
+				t.step()
+			}
+			c.Compute(comp)
+		}
+		if cfg.Verify {
+			sums[me] = t.checksum()
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("stencil gpu: %w", err)
+	}
+	return finish(cfg, j.Elapsed(), rec, sums, npes), nil
+}
+
+func finish(cfg Config, elapsed sim.Time, rec *trace.Recorder, sums []float64, ranks int) *Result {
+	res := &Result{
+		Elapsed: elapsed,
+		PerIter: elapsed / sim.Time(cfg.Iters),
+		Comm:    rec.Summarize(elapsed),
+		Matrix:  rec.Matrix(ranks),
+		Ranks:   ranks,
+	}
+	for _, s := range sums {
+		res.Checksum += s
+	}
+	return res
+}

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"msgroofline/internal/sim"
+)
+
+// TrafficMatrix aggregates recorded events into per-(src, dst) byte
+// and message counts — the communication heat map of a run, useful
+// for spotting topology hotspots (e.g. Summit's X-Bus pairs).
+type TrafficMatrix struct {
+	Ranks    int
+	Bytes    [][]int64
+	Messages [][]int64
+}
+
+// Matrix builds the traffic matrix for `ranks` endpoints; events
+// referencing out-of-range ranks are ignored.
+func (r *Recorder) Matrix(ranks int) *TrafficMatrix {
+	m := &TrafficMatrix{Ranks: ranks}
+	m.Bytes = make([][]int64, ranks)
+	m.Messages = make([][]int64, ranks)
+	for i := range m.Bytes {
+		m.Bytes[i] = make([]int64, ranks)
+		m.Messages[i] = make([]int64, ranks)
+	}
+	for _, e := range r.events {
+		if e.Src < 0 || e.Src >= ranks || e.Dst < 0 || e.Dst >= ranks {
+			continue
+		}
+		m.Bytes[e.Src][e.Dst] += e.Bytes
+		m.Messages[e.Src][e.Dst]++
+	}
+	return m
+}
+
+// Pair is one (src, dst) traffic entry.
+type Pair struct {
+	Src, Dst int
+	Bytes    int64
+	Messages int64
+}
+
+// Hottest returns the top-k pairs by byte volume, descending.
+func (m *TrafficMatrix) Hottest(k int) []Pair {
+	var all []Pair
+	for s := 0; s < m.Ranks; s++ {
+		for d := 0; d < m.Ranks; d++ {
+			if m.Messages[s][d] > 0 {
+				all = append(all, Pair{Src: s, Dst: d, Bytes: m.Bytes[s][d], Messages: m.Messages[s][d]})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Bytes != all[j].Bytes {
+			return all[i].Bytes > all[j].Bytes
+		}
+		if all[i].Src != all[j].Src {
+			return all[i].Src < all[j].Src
+		}
+		return all[i].Dst < all[j].Dst
+	})
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}
+
+// Imbalance is the max/mean ratio of per-pair byte volume across
+// pairs that communicated at all (1 = perfectly balanced).
+func (m *TrafficMatrix) Imbalance() float64 {
+	var max, sum int64
+	n := 0
+	for s := 0; s < m.Ranks; s++ {
+		for d := 0; d < m.Ranks; d++ {
+			if m.Messages[s][d] == 0 {
+				continue
+			}
+			n++
+			sum += m.Bytes[s][d]
+			if m.Bytes[s][d] > max {
+				max = m.Bytes[s][d]
+			}
+		}
+	}
+	if n == 0 || sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(n)
+	return float64(max) / mean
+}
+
+// CrossFraction returns the fraction of bytes flowing between ranks
+// that the predicate classifies as "crossing" (e.g. different
+// sockets/islands).
+func (m *TrafficMatrix) CrossFraction(crosses func(src, dst int) bool) float64 {
+	var cross, total int64
+	for s := 0; s < m.Ranks; s++ {
+		for d := 0; d < m.Ranks; d++ {
+			total += m.Bytes[s][d]
+			if crosses(s, d) {
+				cross += m.Bytes[s][d]
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(cross) / float64(total)
+}
+
+// String renders a compact heat map (byte volumes, KiB) for small
+// rank counts.
+func (m *TrafficMatrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "traffic matrix (%d ranks, KiB):\n", m.Ranks)
+	show := m.Ranks
+	if show > 16 {
+		show = 16
+	}
+	for s := 0; s < show; s++ {
+		fmt.Fprintf(&b, "%4d:", s)
+		for d := 0; d < show; d++ {
+			fmt.Fprintf(&b, " %6.1f", float64(m.Bytes[s][d])/1024)
+		}
+		fmt.Fprintln(&b)
+	}
+	if m.Ranks > show {
+		fmt.Fprintf(&b, "  (truncated to %dx%d)\n", show, show)
+	}
+	return b.String()
+}
+
+// BisectionLoad estimates the byte volume crossing a rank-space cut
+// at `cut` (ranks < cut vs >= cut), per direction.
+func (m *TrafficMatrix) BisectionLoad(cut int) (forward, backward int64) {
+	for s := 0; s < m.Ranks; s++ {
+		for d := 0; d < m.Ranks; d++ {
+			if s < cut && d >= cut {
+				forward += m.Bytes[s][d]
+			}
+			if s >= cut && d < cut {
+				backward += m.Bytes[s][d]
+			}
+		}
+	}
+	return forward, backward
+}
+
+// MeanRate converts total recorded bytes into GB/s over the elapsed
+// span.
+func (m *TrafficMatrix) MeanRate(elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	var total int64
+	for s := range m.Bytes {
+		for d := range m.Bytes[s] {
+			total += m.Bytes[s][d]
+		}
+	}
+	return float64(total) / elapsed.Seconds() / 1e9
+}

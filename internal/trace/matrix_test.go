@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"msgroofline/internal/sim"
+)
+
+func sampleRecorder() *Recorder {
+	r := New()
+	r.Record(Event{Src: 0, Dst: 1, Bytes: 1000})
+	r.Record(Event{Src: 0, Dst: 1, Bytes: 500})
+	r.Record(Event{Src: 1, Dst: 0, Bytes: 200})
+	r.Record(Event{Src: 2, Dst: 3, Bytes: 4000})
+	r.Record(Event{Src: 9, Dst: 0, Bytes: 99999}) // out of range for ranks=4
+	return r
+}
+
+func TestMatrixAggregation(t *testing.T) {
+	m := sampleRecorder().Matrix(4)
+	if m.Bytes[0][1] != 1500 || m.Messages[0][1] != 2 {
+		t.Fatalf("0->1: %d bytes, %d msgs", m.Bytes[0][1], m.Messages[0][1])
+	}
+	if m.Bytes[1][0] != 200 {
+		t.Fatalf("1->0 = %d", m.Bytes[1][0])
+	}
+	if m.Bytes[2][3] != 4000 {
+		t.Fatalf("2->3 = %d", m.Bytes[2][3])
+	}
+	// Out-of-range events ignored.
+	var total int64
+	for s := range m.Bytes {
+		for d := range m.Bytes[s] {
+			total += m.Bytes[s][d]
+		}
+	}
+	if total != 5700 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestHottestOrdering(t *testing.T) {
+	m := sampleRecorder().Matrix(4)
+	hot := m.Hottest(2)
+	if len(hot) != 2 {
+		t.Fatalf("hottest = %d entries", len(hot))
+	}
+	if hot[0].Src != 2 || hot[0].Dst != 3 || hot[0].Bytes != 4000 {
+		t.Fatalf("hottest[0] = %+v", hot[0])
+	}
+	if hot[1].Bytes != 1500 {
+		t.Fatalf("hottest[1] = %+v", hot[1])
+	}
+	// k larger than entries: all returned.
+	if got := len(m.Hottest(100)); got != 3 {
+		t.Fatalf("hottest(100) = %d", got)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	m := sampleRecorder().Matrix(4)
+	// Pairs: 1500, 200, 4000 -> mean 1900, max 4000.
+	want := 4000.0 / 1900.0
+	if got := m.Imbalance(); got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("imbalance = %v, want %v", got, want)
+	}
+	if (New()).Matrix(4).Imbalance() != 0 {
+		t.Fatal("empty matrix imbalance should be 0")
+	}
+}
+
+func TestCrossFraction(t *testing.T) {
+	m := sampleRecorder().Matrix(4)
+	// "Socket" boundary between ranks 0,1 and 2,3.
+	frac := m.CrossFraction(func(s, d int) bool { return (s < 2) != (d < 2) })
+	if frac != 0 {
+		t.Fatalf("cross fraction = %v, want 0 (no cross traffic)", frac)
+	}
+	m.Bytes[0][3] = 5700 // equal to all existing traffic
+	m.Messages[0][3] = 1
+	frac = m.CrossFraction(func(s, d int) bool { return (s < 2) != (d < 2) })
+	if frac != 0.5 {
+		t.Fatalf("cross fraction = %v, want 0.5", frac)
+	}
+}
+
+func TestBisectionLoad(t *testing.T) {
+	m := sampleRecorder().Matrix(4)
+	fwd, bwd := m.BisectionLoad(2)
+	if fwd != 0 || bwd != 0 {
+		t.Fatalf("bisection = %d/%d, want 0/0", fwd, bwd)
+	}
+	fwd, bwd = m.BisectionLoad(1)
+	// 0->1 crosses forward (1500); 1->0 crosses backward (200).
+	if fwd != 1500 || bwd != 200 {
+		t.Fatalf("bisection at 1 = %d/%d", fwd, bwd)
+	}
+}
+
+func TestMatrixStringAndRate(t *testing.T) {
+	m := sampleRecorder().Matrix(4)
+	s := m.String()
+	if !strings.Contains(s, "traffic matrix") {
+		t.Fatalf("string = %q", s)
+	}
+	rate := m.MeanRate(sim.Microsecond)
+	// 5700 B / 1 us = 5.7 GB/s.
+	if rate < 5.69 || rate > 5.71 {
+		t.Fatalf("rate = %v", rate)
+	}
+	if m.MeanRate(0) != 0 {
+		t.Fatal("zero elapsed should give zero rate")
+	}
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"testing"
+
+	"msgroofline/internal/sim"
+)
+
+func TestEmptySummary(t *testing.T) {
+	r := New()
+	s := r.Summarize(sim.Second)
+	if s.Messages != 0 || s.TotalBytes != 0 || s.SustainedGBs != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	r := New()
+	r.Record(Event{Src: 0, Dst: 1, Bytes: 100, Issue: 0, Deliver: sim.Microsecond})
+	r.Record(Event{Src: 1, Dst: 0, Bytes: 300, Issue: 0, Deliver: 3 * sim.Microsecond})
+	r.Sync()
+	r.Sync()
+	s := r.Summarize(sim.Microsecond) // 400 B in 1 us = 0.4 GB/s
+	if s.Messages != 2 || s.Syncs != 2 {
+		t.Fatalf("counts = %d/%d", s.Messages, s.Syncs)
+	}
+	if s.MsgsPerSync != 1 {
+		t.Fatalf("msg/sync = %v", s.MsgsPerSync)
+	}
+	if s.TotalBytes != 400 || s.MinBytes != 100 || s.MaxBytes != 300 {
+		t.Fatalf("bytes = %d/%d/%d", s.TotalBytes, s.MinBytes, s.MaxBytes)
+	}
+	if s.MeanBytes != 200 || s.MedianBytes != 200 {
+		t.Fatalf("mean/median = %v/%v", s.MeanBytes, s.MedianBytes)
+	}
+	if s.MeanLatency != 2*sim.Microsecond {
+		t.Fatalf("mean latency = %v", s.MeanLatency)
+	}
+	if s.SustainedGBs < 0.39 || s.SustainedGBs > 0.41 {
+		t.Fatalf("bw = %v", s.SustainedGBs)
+	}
+	if s.String() == "" {
+		t.Fatal("String should be non-empty")
+	}
+}
+
+func TestMedianOdd(t *testing.T) {
+	r := New()
+	for _, b := range []int64{10, 1000, 50} {
+		r.Record(Event{Bytes: b, Deliver: sim.Microsecond})
+	}
+	if s := r.Summarize(sim.Second); s.MedianBytes != 50 {
+		t.Fatalf("median = %v, want 50", s.MedianBytes)
+	}
+}
+
+func TestP99Latency(t *testing.T) {
+	r := New()
+	for i := 1; i <= 100; i++ {
+		r.Record(Event{Bytes: 8, Issue: 0, Deliver: sim.Time(i) * sim.Microsecond})
+	}
+	s := r.Summarize(sim.Second)
+	if s.P99Latency < 99*sim.Microsecond {
+		t.Fatalf("p99 = %v", s.P99Latency)
+	}
+}
+
+func TestSizeHistogram(t *testing.T) {
+	r := New()
+	for _, b := range []int64{1, 2, 3, 4, 7, 8, 1024} {
+		r.Record(Event{Bytes: b})
+	}
+	h := r.SizeHistogram()
+	want := map[int64]int{1: 1, 2: 2, 4: 2, 8: 1, 1024: 1}
+	if len(h) != len(want) {
+		t.Fatalf("histogram = %+v", h)
+	}
+	for _, b := range h {
+		if want[b.Floor] != b.Count {
+			t.Fatalf("bucket %d = %d, want %d", b.Floor, b.Count, want[b.Floor])
+		}
+	}
+	// Ascending order.
+	for i := 1; i < len(h); i++ {
+		if h[i].Floor <= h[i-1].Floor {
+			t.Fatal("histogram not sorted")
+		}
+	}
+}
+
+func TestNoSyncsMeansZeroMsgsPerSync(t *testing.T) {
+	r := New()
+	r.Record(Event{Bytes: 8, Deliver: 1})
+	if s := r.Summarize(sim.Second); s.MsgsPerSync != 0 {
+		t.Fatalf("msg/sync = %v, want 0 without syncs", s.MsgsPerSync)
+	}
+}

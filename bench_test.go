@@ -9,6 +9,7 @@
 package msgroofline
 
 import (
+	"runtime"
 	"testing"
 
 	"msgroofline/internal/bench"
@@ -29,6 +30,16 @@ func mc(b *testing.B, name string) *machine.Config {
 		b.Fatal(err)
 	}
 	return c
+}
+
+// BenchmarkSuiteQuick regenerates the entire quick-scale experiment
+// suite through the concurrent scheduler (the cmd/experiments path).
+func BenchmarkSuiteQuick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.RunAll(experiments.Registry(), experiments.Quick, sweepJobs); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkTableI regenerates the platform table.
@@ -69,19 +80,23 @@ func BenchmarkFig2Topology(b *testing.B) {
 	}
 }
 
+// sweepJobs is the scheduler width the benchmark suite's sweeps use:
+// all cores, so the suite itself exercises (and benefits from) the
+// parallel sweep scheduler.
+var sweepJobs = runtime.GOMAXPROCS(0)
+
 // Fig 3: two-sided vs one-sided MPI bandwidth per CPU machine. The
 // reported GB/s metric is the 256-msg/sync 64 KiB point.
 func benchFig3(b *testing.B, machineName string, oneSided bool) {
 	cfg := mc(b, machineName)
+	transport := bench.TwoSided
+	if oneSided {
+		transport = bench.OneSided
+	}
+	spec := bench.Spec{Transport: transport, Ns: []int{256}, Sizes: []int64{65536}, Jobs: sweepJobs}
 	var gbs float64
 	for i := 0; i < b.N; i++ {
-		var res *bench.Result
-		var err error
-		if oneSided {
-			res, err = bench.SweepOneSided(cfg, 2, []int{256}, []int64{65536})
-		} else {
-			res, err = bench.SweepTwoSided(cfg, 2, []int{256}, []int64{65536})
-		}
+		res, err := bench.Sweep(cfg, spec)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -101,9 +116,10 @@ func BenchmarkFig3SummitCPUOneSided(b *testing.B)     { benchFig3(b, "summit-cpu
 // Fig 4: GPU put-with-signal sweeps and CAS latency.
 func benchFig4Put(b *testing.B, machineName string) {
 	cfg := mc(b, machineName)
+	spec := bench.Spec{Transport: bench.ShmemPutSignal, Ns: []int{256}, Sizes: []int64{65536}, Jobs: sweepJobs}
 	var gbs float64
 	for i := 0; i < b.N; i++ {
-		res, err := bench.SweepShmemPutSignal(cfg, 2, []int{256}, []int64{65536})
+		res, err := bench.Sweep(cfg, spec)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -300,11 +316,11 @@ func BenchmarkAblationStrictProtocol(b *testing.B) {
 	cfg := mc(b, "perlmutter-cpu")
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		strict, err := bench.SweepOneSidedStrict(cfg, 2, []int{16}, []int64{400})
+		strict, err := bench.Sweep(cfg, bench.Spec{Transport: bench.OneSidedStrict, Ns: []int{16}, Sizes: []int64{400}, Jobs: sweepJobs})
 		if err != nil {
 			b.Fatal(err)
 		}
-		windowed, err := bench.SweepOneSided(cfg, 2, []int{16}, []int64{400})
+		windowed, err := bench.Sweep(cfg, bench.Spec{Transport: bench.OneSided, Ns: []int{16}, Sizes: []int64{400}, Jobs: sweepJobs})
 		if err != nil {
 			b.Fatal(err)
 		}

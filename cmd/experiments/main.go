@@ -3,9 +3,14 @@
 //
 // Usage:
 //
-//	experiments [-scale quick|full] [-only fig3,fig9] [-csv DIR] [-list]
+//	experiments [-scale quick|full] [-only fig3,fig9] [-jobs N] [-csv DIR] [-list]
 //
-// With -csv DIR each experiment's series are written to DIR/<id>.csv.
+// Experiments run concurrently on up to -jobs workers (default: the
+// number of CPUs); every experiment is an independent, deterministic
+// simulation and results are rendered in registry order, so stdout is
+// byte-identical at any -jobs value. Wall-time reporting goes to
+// stderr. With -csv DIR each experiment's series are written to
+// DIR/<id>.csv.
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -23,6 +29,7 @@ import (
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "number of experiments regenerated concurrently")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV series")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
@@ -62,15 +69,15 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	for _, e := range selected {
-		start := time.Now()
-		out, err := e.Run(scale)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.ID, err)
-			os.Exit(1)
-		}
+	outs, stats, err := experiments.RunAll(selected, scale, *jobs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for i, out := range outs {
 		fmt.Println(out.Render())
-		fmt.Printf("(%s regenerated in %v wall time)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "(%s regenerated in %v wall time)\n",
+			out.ID, stats.JobWall[i].Round(time.Millisecond))
 		if *csvDir != "" && len(out.Series) > 0 {
 			path := filepath.Join(*csvDir, out.ID+".csv")
 			f, err := os.Create(path)
@@ -87,4 +94,5 @@ func main() {
 			fmt.Printf("wrote %s\n\n", path)
 		}
 	}
+	fmt.Fprintf(os.Stderr, "suite: %s\n", stats)
 }

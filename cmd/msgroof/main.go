@@ -7,12 +7,17 @@
 //	msgroof -machine perlmutter-cpu -transport two-sided
 //	msgroof -machine perlmutter-gpu -transport gpu-shmem -csv out.csv
 //	msgroof -machine perlmutter-gpu -split          (Fig 10 experiment)
+//
+// Sweep points are independent simulations and run concurrently on up
+// to -jobs workers (default: the number of CPUs); output is
+// byte-identical at any -jobs value.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"msgroofline/internal/bench"
@@ -26,6 +31,7 @@ import (
 func main() {
 	mName := flag.String("machine", "perlmutter-cpu", "machine: "+strings.Join(machine.Names(), ", "))
 	tName := flag.String("transport", "two-sided", "transport: two-sided, one-sided, one-sided-strict, gpu-shmem")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "number of sweep points simulated concurrently")
 	split := flag.Bool("split", false, "run the Fig-10 message-splitting experiment instead of a sweep")
 	csvPath := flag.String("csv", "", "write measured series to this CSV file")
 	flag.Parse()
@@ -40,26 +46,21 @@ func main() {
 	}
 	ns := bench.DefaultNs()
 	sizes := bench.DefaultSizes()
-	var res *bench.Result
-	var tr machine.Transport
-	switch *tName {
-	case "two-sided":
-		tr = machine.TwoSided
-		res, err = bench.SweepTwoSided(cfg, 2, ns, sizes)
-	case "one-sided":
-		tr = machine.OneSided
-		res, err = bench.SweepOneSided(cfg, 2, ns, sizes)
-	case "one-sided-strict":
-		tr = machine.OneSided
-		res, err = bench.SweepOneSidedStrict(cfg, 2, ns, sizes)
-	case "gpu-shmem":
-		tr = machine.GPUShmem
-		res, err = bench.SweepShmemPutSignal(cfg, 2, ns, sizes)
-	default:
-		fatal(fmt.Errorf("unknown transport %q", *tName))
-	}
+	transport, err := bench.ParseTransport(*tName)
 	if err != nil {
 		fatal(err)
+	}
+	res, err := bench.Sweep(cfg, bench.Spec{Transport: transport, Ns: ns, Sizes: sizes, Jobs: *jobs})
+	if err != nil {
+		fatal(err)
+	}
+	// The strict protocol fits against the one-sided parameter set.
+	tr := machine.TwoSided
+	switch transport {
+	case bench.OneSided, bench.OneSidedStrict:
+		tr = machine.OneSided
+	case bench.ShmemPutSignal:
+		tr = machine.GPUShmem
 	}
 	tp, ok := cfg.Params(tr)
 	if !ok {
@@ -81,6 +82,7 @@ func main() {
 	fmt.Println(chart.Render())
 	fmt.Printf("fitted %v  (RMS rel. err %.3f)\n", model.Params, loggp.FitError(model.Params, res.Samples()))
 	fmt.Printf("peak measured %.2f GB/s of %.0f GB/s theoretical\n", res.MaxGBs(), cfg.TheoreticalGBs)
+	fmt.Fprintf(os.Stderr, "sweep: %s\n", res.Sched)
 	writeCSV(*csvPath, res.Series())
 }
 

@@ -6,6 +6,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"runtime"
 
 	"msgroofline/internal/bench"
 	"msgroofline/internal/core"
@@ -22,10 +23,18 @@ func main() {
 		cfg.Title, cfg.Kind, cfg.MaxRanks, cfg.TheoreticalGBs)
 
 	// 2. Measure a two-sided MPI sweep: windows of N messages of B
-	// bytes between two cross-socket ranks.
+	// bytes between two cross-socket ranks. Every sweep point is an
+	// independent simulation, so Jobs > 1 parallelizes the sweep with
+	// byte-identical results.
 	ns := []int{1, 16, 256}
 	sizes := []int64{8, 1024, 65536, 1 << 20}
-	res, err := bench.SweepTwoSided(cfg, 2, ns, sizes)
+	res, err := bench.Sweep(cfg, bench.Spec{
+		Transport: bench.TwoSided,
+		Ranks:     2,
+		Ns:        ns,
+		Sizes:     sizes,
+		Jobs:      runtime.GOMAXPROCS(0),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,13 @@
 // experiment (Fig 10). Every point is measured by running the actual
 // simulated stack, exactly as the paper measured its dots on real
 // machines; the fitted LogGP parameters then draw the ceilings.
+//
+// The single driver is Sweep(cfg, Spec): it enumerates the (msg/sync,
+// size) grid, runs every point as an isolated simulation on an
+// internal/sched worker pool (Spec.Jobs wide), and collects points in
+// grid order — so results are byte-identical at any job count. The
+// legacy SweepTwoSided / SweepOneSided / SweepOneSidedStrict /
+// SweepShmemPutSignal entry points are deprecated wrappers over it.
 package bench
 
 import (
@@ -15,6 +22,7 @@ import (
 	"msgroofline/internal/machine"
 	"msgroofline/internal/mpi"
 	"msgroofline/internal/plot"
+	"msgroofline/internal/sched"
 	"msgroofline/internal/shmem"
 	"msgroofline/internal/sim"
 )
@@ -33,6 +41,151 @@ type Result struct {
 	Machine   string
 	Transport string
 	Points    []Point
+
+	// Sched carries the measurement-host scheduling stats of the
+	// sweep that produced the result (how fast the simulations were
+	// regenerated). It is wall-clock metadata, varies run to run, and
+	// must never be mixed into simulated output.
+	Sched *sched.Stats
+
+	// index accelerates At; rebuilt lazily whenever Points grows.
+	index      map[pointKey]int
+	indexedLen int
+}
+
+type pointKey struct {
+	n     int
+	bytes int64
+}
+
+// Transport selects which messaging protocol a Sweep measures. It is
+// a superset of machine.Transport: the strict one-sided variant is a
+// protocol discipline (remote flush per message), not a different
+// software stack.
+type Transport int
+
+const (
+	// TwoSided is the nonblocking Isend/Irecv/Waitall window.
+	TwoSided Transport = iota
+	// OneSided is the paper's 4-op windowed protocol (Put,
+	// FlushLocal, Put(signal), FlushLocal; remote flushes close the
+	// window).
+	OneSided
+	// OneSidedStrict is the per-message 4-op protocol with remote
+	// flushes after every operation (Fig 6b's 5 us/message cost).
+	OneSidedStrict
+	// ShmemPutSignal is GPU-initiated put-with-signal (Fig 4).
+	ShmemPutSignal
+)
+
+// String names the transport exactly as Result.Transport labels it in
+// the figures.
+func (t Transport) String() string {
+	switch t {
+	case TwoSided:
+		return machine.TwoSided.String()
+	case OneSided:
+		return machine.OneSided.String()
+	case OneSidedStrict:
+		return "one-sided-strict"
+	case ShmemPutSignal:
+		return machine.GPUShmem.String()
+	default:
+		return fmt.Sprintf("Transport(%d)", int(t))
+	}
+}
+
+// ParseTransport maps the figure/CLI names back to a Transport.
+func ParseTransport(s string) (Transport, error) {
+	for _, t := range []Transport{TwoSided, OneSided, OneSidedStrict, ShmemPutSignal} {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("bench: unknown transport %q (want two-sided, one-sided, one-sided-strict or gpu-shmem)", s)
+}
+
+// Spec describes one sweep: which protocol to measure, between how
+// many ranks/PEs, over which msg/sync and message-size grids, and how
+// many sweep points to simulate concurrently.
+type Spec struct {
+	// Transport is the protocol under test.
+	Transport Transport
+	// Ranks is the number of ranks (MPI) or PEs (SHMEM) in the job;
+	// 0 defaults to 2 (the communicating far pair).
+	Ranks int
+	// Ns is the msg/sync grid; nil defaults to DefaultNs().
+	Ns []int
+	// Sizes is the message-size grid; nil defaults to DefaultSizes().
+	Sizes []int64
+	// Jobs is the number of sweep points simulated concurrently.
+	// Every point is an independent, bit-reproducible simulation and
+	// results are collected in grid order, so any Jobs value yields
+	// byte-identical output. Jobs <= 0 runs sequentially (1); use
+	// runtime.GOMAXPROCS(0) to saturate the host.
+	Jobs int
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Ranks == 0 {
+		s.Ranks = 2
+	}
+	if s.Ns == nil {
+		s.Ns = DefaultNs()
+	}
+	if s.Sizes == nil {
+		s.Sizes = DefaultSizes()
+	}
+	if s.Jobs <= 0 {
+		s.Jobs = 1
+	}
+	return s
+}
+
+// Sweep measures every (n, size) point of the spec's grid on cfg and
+// returns them in grid order (row-major: Ns outer, Sizes inner — the
+// order the legacy Sweep* entry points produced). Points run on up to
+// Spec.Jobs goroutines via internal/sched; because each point is an
+// isolated simulation, the result is byte-identical at any job count.
+func Sweep(cfg *machine.Config, spec Spec) (*Result, error) {
+	spec = spec.withDefaults()
+	if spec.Ranks < 2 {
+		return nil, fmt.Errorf("bench: sweep needs at least 2 ranks, got %d", spec.Ranks)
+	}
+	grid := make([]pointKey, 0, len(spec.Ns)*len(spec.Sizes))
+	for _, n := range spec.Ns {
+		for _, b := range spec.Sizes {
+			grid = append(grid, pointKey{n, b})
+		}
+	}
+	points, stats, err := sched.Map(spec.Jobs, len(grid), func(i int) (Point, error) {
+		return measure(cfg, spec.Transport, spec.Ranks, grid[i].n, grid[i].bytes)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Machine:   cfg.Name,
+		Transport: spec.Transport.String(),
+		Points:    points,
+		Sched:     stats,
+	}, nil
+}
+
+// measure runs the single simulation behind one sweep point.
+func measure(cfg *machine.Config, t Transport, ranks, n int, b int64) (Point, error) {
+	switch t {
+	case TwoSided:
+		return measureTwoSided(cfg, ranks, n, b)
+	case OneSided:
+		return measureOneSided(cfg, ranks, n, b, false)
+	case OneSidedStrict:
+		return measureOneSided(cfg, ranks, n, b, true)
+	case ShmemPutSignal:
+		return measureShmemPutSignal(cfg, ranks, n, b)
+	default:
+		return Point{}, fmt.Errorf("bench: unknown transport %v", t)
+	}
 }
 
 // DefaultNs is the msg/sync sweep used by the figures.
@@ -60,200 +213,176 @@ func point(n int, b int64, elapsed sim.Time) Point {
 // sockets/islands whenever the machine has more than one.
 func farPair(ranks int) (int, int) { return 0, ranks - 1 }
 
-// SweepTwoSided measures a two-sided MPI window: the receiver posts N
-// nonblocking receives, the sender issues N nonblocking sends, and
-// the window closes at the receiver's Waitall. Both ranks synchronize
-// on a barrier before timing.
-func SweepTwoSided(cfg *machine.Config, ranks int, ns []int, sizes []int64) (*Result, error) {
-	res := &Result{Machine: cfg.Name, Transport: machine.TwoSided.String()}
+// measureTwoSided measures one two-sided MPI window: the receiver
+// posts N nonblocking receives, the sender issues N nonblocking
+// sends, and the window closes at the receiver's Waitall. Both ranks
+// synchronize on a barrier before timing.
+func measureTwoSided(cfg *machine.Config, ranks, n int, b int64) (Point, error) {
 	src, dst := farPair(ranks)
-	for _, n := range ns {
-		for _, b := range sizes {
-			var elapsed sim.Time
-			c, err := mpi.NewComm(cfg, ranks)
-			if err != nil {
-				return nil, err
-			}
-			n, b := n, b
-			err = c.Launch(func(r *mpi.Rank) {
-				switch r.Rank() {
-				case src:
-					r.Barrier()
-					payload := make([]byte, b)
-					for i := 0; i < n; i++ {
-						r.Isend(dst, i, payload)
-					}
-				case dst:
-					reqs := make([]*mpi.Request, n)
-					for i := 0; i < n; i++ {
-						reqs[i] = r.Irecv(src, i)
-					}
-					r.Barrier()
-					start := r.Now()
-					r.Waitall(reqs)
-					elapsed = r.Now() - start
-				default:
-					r.Barrier()
-				}
-			})
-			if err != nil {
-				return nil, fmt.Errorf("bench: two-sided %s n=%d B=%d: %w", cfg.Name, n, b, err)
-			}
-			res.Points = append(res.Points, point(n, b, elapsed))
-		}
+	var elapsed sim.Time
+	c, err := mpi.NewComm(cfg, ranks)
+	if err != nil {
+		return Point{}, err
 	}
-	return res, nil
+	err = c.Launch(func(r *mpi.Rank) {
+		switch r.Rank() {
+		case src:
+			r.Barrier()
+			payload := make([]byte, b)
+			for i := 0; i < n; i++ {
+				r.Isend(dst, i, payload)
+			}
+		case dst:
+			reqs := make([]*mpi.Request, n)
+			for i := 0; i < n; i++ {
+				reqs[i] = r.Irecv(src, i)
+			}
+			r.Barrier()
+			start := r.Now()
+			r.Waitall(reqs)
+			elapsed = r.Now() - start
+		default:
+			r.Barrier()
+		}
+	})
+	if err != nil {
+		return Point{}, fmt.Errorf("bench: two-sided %s n=%d B=%d: %w", cfg.Name, n, b, err)
+	}
+	return point(n, b, elapsed), nil
 }
 
-// SweepOneSided measures a one-sided MPI window using the paper's
+// measureOneSided measures one one-sided MPI window using the paper's
 // operation budget of four one-sided calls per message: for each
-// message a Put of the data, a local flush, a Put of the signal word,
-// and a local flush; the window closes with remote flushes and the
-// receiver observing every signal (its Listing-1 acknowledgment loop
-// is exercised by the SpTRSV workload; here the origin-side flush
-// bounds the window as in the flood-style sweep).
-func SweepOneSided(cfg *machine.Config, ranks int, ns []int, sizes []int64) (*Result, error) {
-	res := &Result{Machine: cfg.Name, Transport: machine.OneSided.String()}
+// message a Put of the data, a flush, a Put of the signal word, and a
+// flush. In the windowed protocol (strict=false) the per-message
+// flushes are local and the window closes with remote flushes, as in
+// the flood-style sweep; the receiver's Listing-1 acknowledgment loop
+// is exercised by the SpTRSV workload. With strict=true every flush
+// waits for remote completion — the per-message notification protocol
+// SpTRSV must use, the 5 us/message cost of Fig 6b, and the reason
+// one-sided SpTRSV loses (§III-B).
+func measureOneSided(cfg *machine.Config, ranks, n int, b int64, strict bool) (Point, error) {
 	src, dst := farPair(ranks)
-	for _, n := range ns {
-		for _, b := range sizes {
-			var elapsed sim.Time
-			c, err := mpi.NewComm(cfg, ranks)
-			if err != nil {
-				return nil, err
-			}
-			data, err := c.NewWin(int(b))
-			if err != nil {
-				return nil, err
-			}
-			sig, err := c.NewWin(8 * n)
-			if err != nil {
-				return nil, err
-			}
-			n, b := n, b
-			one := []byte{1, 0, 0, 0, 0, 0, 0, 0}
-			err = c.Launch(func(r *mpi.Rank) {
-				if r.Rank() != src {
-					r.Barrier()
-					return
-				}
-				r.Barrier()
-				payload := make([]byte, b)
-				start := r.Now()
-				for i := 0; i < n; i++ {
-					r.Put(data, dst, 0, payload)
-					r.FlushLocal(data, dst)
-					r.Put(sig, dst, 8*i, one)
-					r.FlushLocal(sig, dst)
-				}
-				r.Flush(data, dst)
-				r.Flush(sig, dst)
-				elapsed = r.Now() - start
-			})
-			if err != nil {
-				return nil, fmt.Errorf("bench: one-sided %s n=%d B=%d: %w", cfg.Name, n, b, err)
-			}
-			res.Points = append(res.Points, point(n, b, elapsed))
-		}
+	var elapsed sim.Time
+	c, err := mpi.NewComm(cfg, ranks)
+	if err != nil {
+		return Point{}, err
 	}
-	return res, nil
+	data, err := c.NewWin(int(b))
+	if err != nil {
+		return Point{}, err
+	}
+	sig, err := c.NewWin(8 * n)
+	if err != nil {
+		return Point{}, err
+	}
+	one := []byte{1, 0, 0, 0, 0, 0, 0, 0}
+	err = c.Launch(func(r *mpi.Rank) {
+		if r.Rank() != src {
+			r.Barrier()
+			return
+		}
+		r.Barrier()
+		payload := make([]byte, b)
+		start := r.Now()
+		if strict {
+			for i := 0; i < n; i++ {
+				r.Put(data, dst, 0, payload)
+				r.Flush(data, dst)
+				r.Put(sig, dst, 8*i, one)
+				r.Flush(sig, dst)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				r.Put(data, dst, 0, payload)
+				r.FlushLocal(data, dst)
+				r.Put(sig, dst, 8*i, one)
+				r.FlushLocal(sig, dst)
+			}
+			r.Flush(data, dst)
+			r.Flush(sig, dst)
+		}
+		elapsed = r.Now() - start
+	})
+	if err != nil {
+		label := "one-sided"
+		if strict {
+			label = "strict one-sided"
+		}
+		return Point{}, fmt.Errorf("bench: %s %s n=%d B=%d: %w", label, cfg.Name, n, b, err)
+	}
+	return point(n, b, elapsed), nil
+}
+
+// measureShmemPutSignal measures one GPU-initiated put-with-signal
+// window (Fig 4): the sender PE issues N fused put+signal operations,
+// the receiver waits until all N signals land, and the window closes
+// at the receiver.
+func measureShmemPutSignal(cfg *machine.Config, npes, n int, b int64) (Point, error) {
+	src, dst := farPair(npes)
+	var elapsed sim.Time
+	heap := int(b) + 8*n + 64
+	j, err := shmem.NewJob(cfg, npes, heap)
+	if err != nil {
+		return Point{}, err
+	}
+	err = j.Launch(func(c *shmem.Ctx) {
+		switch c.MyPE() {
+		case src:
+			c.Barrier()
+			payload := make([]byte, b)
+			for i := 0; i < n; i++ {
+				c.PutSignalNBI(dst, 0, payload, int(b)+8*i, 1)
+			}
+			c.Quiet()
+		case dst:
+			sigs := make([]int, n)
+			for i := range sigs {
+				sigs[i] = int(b) + 8*i
+			}
+			c.Barrier()
+			start := c.Now()
+			c.WaitUntilAll(sigs, 1)
+			elapsed = c.Now() - start
+		default:
+			c.Barrier()
+		}
+	})
+	if err != nil {
+		return Point{}, fmt.Errorf("bench: shmem %s n=%d B=%d: %w", cfg.Name, n, b, err)
+	}
+	return point(n, b, elapsed), nil
+}
+
+// SweepTwoSided measures a two-sided MPI window sweep sequentially.
+//
+// Deprecated: use Sweep with Spec{Transport: TwoSided}.
+func SweepTwoSided(cfg *machine.Config, ranks int, ns []int, sizes []int64) (*Result, error) {
+	return Sweep(cfg, Spec{Transport: TwoSided, Ranks: ranks, Ns: ns, Sizes: sizes})
+}
+
+// SweepOneSided measures the paper's 4-op windowed one-sided protocol
+// sequentially.
+//
+// Deprecated: use Sweep with Spec{Transport: OneSided}.
+func SweepOneSided(cfg *machine.Config, ranks int, ns []int, sizes []int64) (*Result, error) {
+	return Sweep(cfg, Spec{Transport: OneSided, Ranks: ranks, Ns: ns, Sizes: sizes})
 }
 
 // SweepOneSidedStrict measures the strict per-message 4-op protocol
-// (Put, Flush, Put(signal), Flush — every flush waiting for remote
-// completion) that SpTRSV must use for per-message notification. This
-// is the 5 us/message cost of Fig 6b and the reason one-sided SpTRSV
-// loses (§III-B).
+// sequentially.
+//
+// Deprecated: use Sweep with Spec{Transport: OneSidedStrict}.
 func SweepOneSidedStrict(cfg *machine.Config, ranks int, ns []int, sizes []int64) (*Result, error) {
-	res := &Result{Machine: cfg.Name, Transport: "one-sided-strict"}
-	src, dst := farPair(ranks)
-	for _, n := range ns {
-		for _, b := range sizes {
-			var elapsed sim.Time
-			c, err := mpi.NewComm(cfg, ranks)
-			if err != nil {
-				return nil, err
-			}
-			data, err := c.NewWin(int(b))
-			if err != nil {
-				return nil, err
-			}
-			sig, err := c.NewWin(8 * n)
-			if err != nil {
-				return nil, err
-			}
-			n, b := n, b
-			one := []byte{1, 0, 0, 0, 0, 0, 0, 0}
-			err = c.Launch(func(r *mpi.Rank) {
-				if r.Rank() != src {
-					r.Barrier()
-					return
-				}
-				r.Barrier()
-				payload := make([]byte, b)
-				start := r.Now()
-				for i := 0; i < n; i++ {
-					r.Put(data, dst, 0, payload)
-					r.Flush(data, dst)
-					r.Put(sig, dst, 8*i, one)
-					r.Flush(sig, dst)
-				}
-				elapsed = r.Now() - start
-			})
-			if err != nil {
-				return nil, fmt.Errorf("bench: strict one-sided %s n=%d B=%d: %w", cfg.Name, n, b, err)
-			}
-			res.Points = append(res.Points, point(n, b, elapsed))
-		}
-	}
-	return res, nil
+	return Sweep(cfg, Spec{Transport: OneSidedStrict, Ranks: ranks, Ns: ns, Sizes: sizes})
 }
 
 // SweepShmemPutSignal measures GPU-initiated put-with-signal windows
-// (Fig 4): the sender PE issues N fused put+signal operations, the
-// receiver waits until all N signals land, and the window closes at
-// the receiver.
+// sequentially.
+//
+// Deprecated: use Sweep with Spec{Transport: ShmemPutSignal}.
 func SweepShmemPutSignal(cfg *machine.Config, npes int, ns []int, sizes []int64) (*Result, error) {
-	res := &Result{Machine: cfg.Name, Transport: machine.GPUShmem.String()}
-	src, dst := farPair(npes)
-	for _, n := range ns {
-		for _, b := range sizes {
-			var elapsed sim.Time
-			heap := int(b) + 8*n + 64
-			j, err := shmem.NewJob(cfg, npes, heap)
-			if err != nil {
-				return nil, err
-			}
-			n, b := n, b
-			err = j.Launch(func(c *shmem.Ctx) {
-				switch c.MyPE() {
-				case src:
-					c.Barrier()
-					payload := make([]byte, b)
-					for i := 0; i < n; i++ {
-						c.PutSignalNBI(dst, 0, payload, int(b)+8*i, 1)
-					}
-					c.Quiet()
-				case dst:
-					sigs := make([]int, n)
-					for i := range sigs {
-						sigs[i] = int(b) + 8*i
-					}
-					c.Barrier()
-					start := c.Now()
-					c.WaitUntilAll(sigs, 1)
-					elapsed = c.Now() - start
-				default:
-					c.Barrier()
-				}
-			})
-			if err != nil {
-				return nil, fmt.Errorf("bench: shmem %s n=%d B=%d: %w", cfg.Name, n, b, err)
-			}
-			res.Points = append(res.Points, point(n, b, elapsed))
-		}
-	}
-	return res, nil
+	return Sweep(cfg, Spec{Transport: ShmemPutSignal, Ranks: npes, Ns: ns, Sizes: sizes})
 }
 
 // CASLatency measures the round-trip time of a GPU atomic
@@ -421,11 +550,25 @@ func (r *Result) MaxGBs() float64 {
 }
 
 // At returns the measured point for (n, bytes), ok=false if absent.
+// Lookups go through a lazily built (n, bytes) -> index map, rebuilt
+// whenever Points has grown since the last call; like the rest of
+// Result's lazy state it is not safe for concurrent first use. When
+// the same (n, bytes) pair appears more than once the first point
+// wins, matching the original linear scan.
 func (r *Result) At(n int, bytes int64) (Point, bool) {
-	for _, p := range r.Points {
-		if p.N == n && p.Bytes == bytes {
-			return p, true
+	if r.index == nil || r.indexedLen != len(r.Points) {
+		r.index = make(map[pointKey]int, len(r.Points))
+		for i, p := range r.Points {
+			k := pointKey{p.N, p.Bytes}
+			if _, dup := r.index[k]; !dup {
+				r.index[k] = i
+			}
 		}
+		r.indexedLen = len(r.Points)
 	}
-	return Point{}, false
+	i, ok := r.index[pointKey{n, bytes}]
+	if !ok {
+		return Point{}, false
+	}
+	return r.Points[i], true
 }

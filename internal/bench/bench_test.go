@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"reflect"
 	"testing"
 
 	"msgroofline/internal/loggp"
@@ -212,6 +213,110 @@ func TestFitFromMeasuredSweep(t *testing.T) {
 	// Fitted latency in the microsecond range.
 	if p.L < sim.Microsecond || p.L > 6*sim.Microsecond {
 		t.Fatalf("fitted L = %v", p.L)
+	}
+}
+
+func TestSweepDeterministicAcrossJobs(t *testing.T) {
+	// The same sweep run sequentially and on a parallel pool must
+	// produce bit-identical results: every point is an isolated
+	// simulation and the scheduler reports in submission order.
+	ns := []int{1, 16, 256}
+	sizes := []int64{8, 4096, 262144}
+	cases := []struct {
+		transport Transport
+		machine   string
+	}{
+		{TwoSided, "perlmutter-cpu"},
+		{OneSided, "frontier-cpu"},
+		{OneSidedStrict, "summit-cpu"},
+		{ShmemPutSignal, "perlmutter-gpu"},
+	}
+	for _, c := range cases {
+		m := cfg(t, c.machine)
+		seq, err := Sweep(m, Spec{Transport: c.transport, Ns: ns, Sizes: sizes, Jobs: 1})
+		if err != nil {
+			t.Fatalf("%v sequential: %v", c.transport, err)
+		}
+		par, err := Sweep(m, Spec{Transport: c.transport, Ns: ns, Sizes: sizes, Jobs: 8})
+		if err != nil {
+			t.Fatalf("%v parallel: %v", c.transport, err)
+		}
+		if len(seq.Points) != len(ns)*len(sizes) {
+			t.Fatalf("%v: %d points", c.transport, len(seq.Points))
+		}
+		if !reflect.DeepEqual(seq.Points, par.Points) {
+			t.Fatalf("%v on %s: parallel sweep diverged\nseq: %+v\npar: %+v",
+				c.transport, c.machine, seq.Points, par.Points)
+		}
+		if seq.Machine != par.Machine || seq.Transport != par.Transport {
+			t.Fatalf("%v: metadata diverged", c.transport)
+		}
+		if par.Sched == nil || par.Sched.Jobs != len(seq.Points) {
+			t.Fatalf("%v: missing sched stats: %+v", c.transport, par.Sched)
+		}
+	}
+}
+
+func TestSweepSpecDefaults(t *testing.T) {
+	// Zero values fill in the paper grids, 2 ranks, sequential jobs.
+	r, err := Sweep(cfg(t, "perlmutter-cpu"), Spec{Transport: TwoSided, Ns: []int{1}, Sizes: []int64{8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Transport != "two-sided" || len(r.Points) != 1 {
+		t.Fatalf("defaulted sweep: %+v", r)
+	}
+	if _, err := Sweep(cfg(t, "perlmutter-cpu"), Spec{Transport: TwoSided, Ranks: 1}); err == nil {
+		t.Fatal("1-rank sweep should error")
+	}
+	if _, err := Sweep(cfg(t, "perlmutter-cpu"), Spec{Transport: Transport(99), Ns: []int{1}, Sizes: []int64{8}}); err == nil {
+		t.Fatal("unknown transport should error")
+	}
+}
+
+func TestLegacyWrappersMatchSweep(t *testing.T) {
+	// The deprecated entry points are thin shims over Sweep.
+	m := cfg(t, "perlmutter-cpu")
+	legacy, err := SweepTwoSided(m, 2, []int{16}, []int64{4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Sweep(m, Spec{Transport: TwoSided, Ns: []int{16}, Sizes: []int64{4096}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy.Points, spec.Points) || legacy.Transport != spec.Transport {
+		t.Fatalf("wrapper diverged: %+v vs %+v", legacy, spec)
+	}
+}
+
+func TestTransportNames(t *testing.T) {
+	for _, tr := range []Transport{TwoSided, OneSided, OneSidedStrict, ShmemPutSignal} {
+		got, err := ParseTransport(tr.String())
+		if err != nil || got != tr {
+			t.Fatalf("round trip %v: got %v, err %v", tr, got, err)
+		}
+	}
+	if _, err := ParseTransport("carrier-pigeon"); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestAtIndexTracksAppends(t *testing.T) {
+	r := &Result{}
+	r.Points = append(r.Points, Point{N: 1, Bytes: 8, GBs: 1})
+	if p, ok := r.At(1, 8); !ok || p.GBs != 1 {
+		t.Fatalf("At(1,8) = %+v, %v", p, ok)
+	}
+	// Growing Points after a lookup must invalidate the lazy index.
+	r.Points = append(r.Points, Point{N: 2, Bytes: 16, GBs: 2})
+	if p, ok := r.At(2, 16); !ok || p.GBs != 2 {
+		t.Fatalf("At(2,16) after append = %+v, %v", p, ok)
+	}
+	// Duplicate keys resolve to the first point, like the old scan.
+	r.Points = append(r.Points, Point{N: 1, Bytes: 8, GBs: 99})
+	if p, _ := r.At(1, 8); p.GBs != 1 {
+		t.Fatalf("duplicate key should keep first point, got %+v", p)
 	}
 }
 

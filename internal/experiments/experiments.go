@@ -12,6 +12,7 @@ import (
 
 	"msgroofline/internal/machine"
 	"msgroofline/internal/plot"
+	"msgroofline/internal/sched"
 	"msgroofline/internal/sim"
 	"msgroofline/internal/spmat"
 )
@@ -95,14 +96,34 @@ func Get(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("experiments: unknown id %q", id)
 }
 
+// RunAll regenerates the given experiments on up to `jobs` concurrent
+// workers (jobs <= 0 selects GOMAXPROCS) and returns their outputs in
+// the order they were given — registry order for Registry() — so the
+// rendered suite is byte-identical at any job count. Each experiment
+// is an independent, bit-reproducible set of simulations; on the
+// first failure no further experiments start, and every failure is
+// aggregated into the returned error. The returned sched.Stats hold
+// per-experiment wall times for reporting.
+func RunAll(exps []Experiment, scale Scale, jobs int) ([]*Output, *sched.Stats, error) {
+	outs, stats, err := sched.Map(jobs, len(exps), func(i int) (*Output, error) {
+		out, err := exps[i].Run(scale)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s failed: %w", exps[i].ID, err)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	return outs, stats, nil
+}
+
 // helpers -------------------------------------------------------------------
 
-func mustMachine(name string) *machine.Config {
-	c, err := machine.Get(name)
-	if err != nil {
-		panic(err)
-	}
-	return c
+// getMachine resolves a catalog name, turning an unknown machine into
+// a reported experiment failure instead of a crash.
+func getMachine(name string) (*machine.Config, error) {
+	return machine.Get(name)
 }
 
 // matrixFor returns the SpTRSV factor for the scale.

@@ -24,7 +24,10 @@ func ExtCCL(s Scale) (*Output, error) {
 		"Machine", "GPUs", "elements", "time", "algbw GB/s")
 	var series []plot.Series
 	for _, name := range []string{"perlmutter-gpu", "summit-gpu", "frontier-gpu"} {
-		cfg := mustMachine(name)
+		cfg, err := getMachine(name)
+		if err != nil {
+			return nil, err
+		}
 		ser := plot.Series{Name: name + " allreduce"}
 		for _, n := range sizes {
 			plan, err := ccl.NewPlan(cfg.MaxRanks, n)
@@ -76,9 +79,12 @@ func ExtCCL(s Scale) (*Output, error) {
 // ExtFrontierGPU runs the paper's GPU experiments on the Frontier GPU
 // extension platform (projected ROC_SHMEM parameters).
 func ExtFrontierGPU(s Scale) (*Output, error) {
-	cfg := mustMachine("frontier-gpu")
+	cfg, err := getMachine("frontier-gpu")
+	if err != nil {
+		return nil, err
+	}
 	ns, sizes := sweepDims(s)
-	res, err := bench.SweepShmemPutSignal(cfg, 2, ns, sizes)
+	res, err := bench.Sweep(cfg, bench.Spec{Transport: bench.ShmemPutSignal, Ns: ns, Sizes: sizes})
 	if err != nil {
 		return nil, err
 	}
@@ -141,7 +147,10 @@ func ExtNotified(s Scale) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
-	pm := mustMachine("perlmutter-cpu")
+	pm, err := getMachine("perlmutter-cpu")
+	if err != nil {
+		return nil, err
+	}
 	ranks := []int{4, 8, 16}
 	if s == Full {
 		ranks = []int{4, 8, 16, 32}

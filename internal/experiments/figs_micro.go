@@ -42,7 +42,10 @@ func Fig2() (*Output, error) {
 	}
 	t := table.New("Node architectures (Fig 2)", "Machine", "Topology", "Hops g0->gN/cross", "Peak/pair GB/s", "Aggregate GB/s")
 	for _, d := range descr {
-		cfg := mustMachine(d.name)
+		cfg, err := getMachine(d.name)
+		if err != nil {
+			return nil, err
+		}
 		in, err := cfg.Instantiate(cfg.MaxRanks)
 		if err != nil {
 			return nil, err
@@ -68,9 +71,12 @@ func sweepDims(s Scale) ([]int, []int64) {
 // put sweep, the fitted latency-ceiling family, and the sharp vs
 // rounded bounds.
 func Fig1(s Scale) (*Output, error) {
-	cfg := mustMachine("frontier-cpu")
+	cfg, err := getMachine("frontier-cpu")
+	if err != nil {
+		return nil, err
+	}
 	ns, sizes := sweepDims(s)
-	res, err := bench.SweepOneSided(cfg, 2, ns, sizes)
+	res, err := bench.Sweep(cfg, bench.Spec{Transport: bench.OneSided, Ns: ns, Sizes: sizes})
 	if err != nil {
 		return nil, err
 	}
@@ -114,12 +120,15 @@ func Fig3(s Scale) (*Output, error) {
 	var all []plot.Series
 	var notes []string
 	for _, name := range []string{"perlmutter-cpu", "frontier-cpu", "summit-cpu"} {
-		cfg := mustMachine(name)
-		two, err := bench.SweepTwoSided(cfg, 2, ns, sizes)
+		cfg, err := getMachine(name)
 		if err != nil {
 			return nil, err
 		}
-		one, err := bench.SweepOneSided(cfg, 2, ns, sizes)
+		two, err := bench.Sweep(cfg, bench.Spec{Transport: bench.TwoSided, Ns: ns, Sizes: sizes})
+		if err != nil {
+			return nil, err
+		}
+		one, err := bench.Sweep(cfg, bench.Spec{Transport: bench.OneSided, Ns: ns, Sizes: sizes})
 		if err != nil {
 			return nil, err
 		}
@@ -164,8 +173,11 @@ func Fig4(s Scale) (*Output, error) {
 	var all []plot.Series
 	var notes []string
 	for _, name := range []string{"perlmutter-gpu", "summit-gpu"} {
-		cfg := mustMachine(name)
-		res, err := bench.SweepShmemPutSignal(cfg, 2, ns, sizes)
+		cfg, err := getMachine(name)
+		if err != nil {
+			return nil, err
+		}
+		res, err := bench.Sweep(cfg, bench.Spec{Transport: bench.ShmemPutSignal, Ns: ns, Sizes: sizes})
 		if err != nil {
 			return nil, err
 		}
@@ -186,22 +198,34 @@ func Fig4(s Scale) (*Output, error) {
 	}
 	// CAS latencies (§III-C).
 	t := table.New("GPU atomic compare-and-swap latency", "Machine", "Pair", "us/CAS", "Paper")
-	pg, err := bench.CASLatency(mustMachine("perlmutter-gpu"), 4, 1, 32)
+	pmGPU, err := getMachine("perlmutter-gpu")
+	if err != nil {
+		return nil, err
+	}
+	pg, err := bench.CASLatency(pmGPU, 4, 1, 32)
 	if err != nil {
 		return nil, err
 	}
 	t.AddRow("Perlmutter GPU", "g0->g1", usStr(pg), "0.8")
-	in, err := bench.CASLatency(mustMachine("summit-gpu"), 6, 1, 32)
+	smGPU, err := getMachine("summit-gpu")
+	if err != nil {
+		return nil, err
+	}
+	in, err := bench.CASLatency(smGPU, 6, 1, 32)
 	if err != nil {
 		return nil, err
 	}
 	t.AddRow("Summit GPU", "g0->g1 (in island)", usStr(in), "1.0")
-	cross, err := bench.CASLatency(mustMachine("summit-gpu"), 6, 3, 32)
+	cross, err := bench.CASLatency(smGPU, 6, 3, 32)
 	if err != nil {
 		return nil, err
 	}
 	t.AddRow("Summit GPU", "g0->g3 (cross socket)", usStr(cross), "1.6")
-	cpu, err := bench.OneSidedCASLatency(mustMachine("perlmutter-cpu"), 2, 1, 32)
+	pmCPU, err := getMachine("perlmutter-cpu")
+	if err != nil {
+		return nil, err
+	}
+	cpu, err := bench.OneSidedCASLatency(pmCPU, 2, 1, 32)
 	if err != nil {
 		return nil, err
 	}
@@ -220,7 +244,10 @@ func Fig10(s Scale) (*Output, error) {
 	for v := int64(1 << 10); v <= hi; v *= 2 {
 		volumes = append(volumes, v)
 	}
-	cfg := mustMachine("perlmutter-gpu")
+	cfg, err := getMachine("perlmutter-gpu")
+	if err != nil {
+		return nil, err
+	}
 	pts, err := bench.SweepSplit(cfg, 4, volumes)
 	if err != nil {
 		return nil, err

@@ -51,7 +51,10 @@ func stencilScale(s Scale) (grid, iters int, note string) {
 func TableII(s Scale) (*Output, error) {
 	t := table.New("Workload characterization (Table II)",
 		"Workload", "Pattern", "Notify", "P2P pair", "Msg/sync (paper)", "Msg/sync (measured)", "Bytes/msg (measured)")
-	pm := mustMachine("perlmutter-cpu")
+	pm, err := getMachine("perlmutter-cpu")
+	if err != nil {
+		return nil, err
+	}
 
 	st, err := stencil.RunTwoSided(stencil.Config{Machine: pm, Grid: 512, Iters: 3, PX: 4, PY: 4})
 	if err != nil {
@@ -99,7 +102,10 @@ func Fig5(s Scale) (*Output, error) {
 	if s == Quick {
 		cpuRanks = []int{4, 16, 64}
 	}
-	pm := mustMachine("perlmutter-cpu")
+	pm, err := getMachine("perlmutter-cpu")
+	if err != nil {
+		return nil, err
+	}
 	var b strings.Builder
 	t := table.New("Fig 5 — stencil time", "Platform", "Variant", "Ranks", "Total (ms)", "Per-iter (ms)", "Comm GB/s")
 	twoS := plot.Series{Name: "perlmutter-cpu two-sided"}
@@ -130,7 +136,10 @@ func Fig5(s Scale) (*Output, error) {
 		{"perlmutter-gpu", []int{1, 2, 4}},
 		{"summit-gpu", []int{1, 2, 4, 6}},
 	} {
-		cfg := mustMachine(g.name)
+		cfg, err := getMachine(g.name)
+		if err != nil {
+			return nil, err
+		}
 		ser := &plot.Series{Name: g.name + " nvshmem"}
 		gpuSeries[g.name] = ser
 		for _, p := range g.ranks {
@@ -146,7 +155,10 @@ func Fig5(s Scale) (*Output, error) {
 	}
 	// Host-staged GPU (§I's "communicate via the host processor"):
 	// two-sided MPI on the GPU machine routes through the host.
-	pg := mustMachine("perlmutter-gpu")
+	pg, err := getMachine("perlmutter-gpu")
+	if err != nil {
+		return nil, err
+	}
 	staged := plot.Series{Name: "perlmutter-gpu host-staged"}
 	for _, p := range []int{1, 2, 4} {
 		px, py := stencilDims(p)
@@ -174,7 +186,10 @@ func Fig5(s Scale) (*Output, error) {
 // Fig6 places the three workloads' message-size ranges on the
 // Perlmutter CPU Message Rooflines.
 func Fig6(s Scale) (*Output, error) {
-	pm := mustMachine("perlmutter-cpu")
+	pm, err := getMachine("perlmutter-cpu")
+	if err != nil {
+		return nil, err
+	}
 	mTwo, err := core.ForMachine(pm, machine.TwoSided, 128, 0, 127)
 	if err != nil {
 		return nil, err
@@ -235,13 +250,19 @@ func Fig6(s Scale) (*Output, error) {
 // the hashtable (1e6 msg/sync) pays the least and SpTRSV (1 msg/sync)
 // the most.
 func Fig7(s Scale) (*Output, error) {
-	pg := mustMachine("perlmutter-gpu")
+	pg, err := getMachine("perlmutter-gpu")
+	if err != nil {
+		return nil, err
+	}
 	model, err := core.ForMachine(pg, machine.GPUShmem, 4, 0, 1)
 	if err != nil {
 		return nil, err
 	}
 	// Message sizes come from traced workload runs.
-	pm := mustMachine("perlmutter-cpu")
+	pm, err := getMachine("perlmutter-cpu")
+	if err != nil {
+		return nil, err
+	}
 	grid, iters, _ := stencilScale(Quick)
 	st, err := stencil.RunTwoSided(stencil.Config{Machine: pm, Grid: grid, Iters: iters, PX: 4, PY: 4})
 	if err != nil {
@@ -303,7 +324,10 @@ func Fig8(s Scale) (*Output, error) {
 		}
 		series = append(series, ser)
 	}
-	pm := mustMachine("perlmutter-cpu")
+	pm, err := getMachine("perlmutter-cpu")
+	if err != nil {
+		return nil, err
+	}
 	var twoT, oneT []float64
 	for _, p := range cpuRanks {
 		two, err := sptrsv.RunTwoSided(sptrsv.Config{Machine: pm, Matrix: mat, Ranks: p})
@@ -322,7 +346,10 @@ func Fig8(s Scale) (*Output, error) {
 	addSeries("perlmutter-cpu two-sided", cpuRanks, twoT)
 	addSeries("perlmutter-cpu one-sided", cpuRanks, oneT)
 
-	sm := mustMachine("summit-cpu")
+	sm, err := getMachine("summit-cpu")
+	if err != nil {
+		return nil, err
+	}
 	smRanks := []int{1, 8, 32, 42}
 	if s == Quick {
 		smRanks = []int{1, 16, 42}
@@ -345,7 +372,10 @@ func Fig8(s Scale) (*Output, error) {
 		{"perlmutter-gpu", []int{1, 2, 4}},
 		{"summit-gpu", []int{1, 2, 4, 6}},
 	} {
-		cfg := mustMachine(g.name)
+		cfg, err := getMachine(g.name)
+		if err != nil {
+			return nil, err
+		}
 		var ys []float64
 		for _, p := range g.ranks {
 			r, err := sptrsv.RunGPU(sptrsv.Config{Machine: cfg, Matrix: mat, Ranks: p})
@@ -370,7 +400,10 @@ func Fig8(s Scale) (*Output, error) {
 
 // Fig9 reproduces the distributed hashtable comparison.
 func Fig9(s Scale) (*Output, error) {
-	pm := mustMachine("perlmutter-cpu")
+	pm, err := getMachine("perlmutter-cpu")
+	if err != nil {
+		return nil, err
+	}
 	inserts := 20000
 	cpuRanks := []int{2, 8, 32, 128}
 	gpuInserts := 20000
@@ -413,7 +446,10 @@ func Fig9(s Scale) (*Output, error) {
 		{"perlmutter-gpu", []int{1, 2, 4}},
 		{"summit-gpu", []int{1, 2, 3, 4, 6}},
 	} {
-		cfg := mustMachine(g.name)
+		cfg, err := getMachine(g.name)
+		if err != nil {
+			return nil, err
+		}
 		ser := plot.Series{Name: g.name + " nvshmem"}
 		for _, p := range g.ranks {
 			r, err := hashtable.RunGPU(cfg, hashtable.Config{Ranks: p, TotalInserts: gpuInserts})

@@ -1,0 +1,156 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapPreservesSubmissionOrder(t *testing.T) {
+	// Jobs finish out of order (later indices sleep less), yet the
+	// result slice must follow submission order.
+	const n = 16
+	out, stats, err := Map(8, n, func(i int) (int, error) {
+		time.Sleep(time.Duration(n-i) * time.Millisecond)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+	if stats.Jobs != n || stats.Started != n {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestRunUsesAllWorkers(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	_, stats, err := Map(4, 32, func(i int) (struct{}, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		inFlight.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workers != 4 {
+		t.Fatalf("workers = %d", stats.Workers)
+	}
+	// GOMAXPROCS may be 1, but goroutines still interleave across the
+	// sleeps, so more than one job should have been in flight.
+	if peak.Load() < 2 {
+		t.Fatalf("peak in-flight = %d, want >= 2", peak.Load())
+	}
+}
+
+func TestErrorAggregationInIndexOrder(t *testing.T) {
+	boom := func(i int) error { return fmt.Errorf("job-%d-boom", i) }
+	// One worker: jobs run strictly in order, job 1 fails, intake
+	// stops, so job 3's error never happens.
+	_, err := Run(1, 4, func(i int) error {
+		if i == 1 || i == 3 {
+			return boom(i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "job-1-boom") {
+		t.Fatalf("missing job 1 error: %v", err)
+	}
+	if strings.Contains(err.Error(), "job-3-boom") {
+		t.Fatalf("job 3 should have been canceled: %v", err)
+	}
+}
+
+func TestCancellationOnFirstFailure(t *testing.T) {
+	var ran atomic.Int64
+	stats, err := Run(1, 100, func(i int) error {
+		ran.Add(1)
+		if i == 2 {
+			return errors.New("fail fast")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("ran %d jobs, want 3 (0,1,2)", got)
+	}
+	if stats.Started != 3 {
+		t.Fatalf("stats.Started = %d, want 3", stats.Started)
+	}
+}
+
+func TestPanicBecomesError(t *testing.T) {
+	_, err := Run(2, 4, func(i int) error {
+		if i == 0 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("panic not captured: %v", err)
+	}
+}
+
+func TestWorkerNormalization(t *testing.T) {
+	// workers <= 0 means GOMAXPROCS; pool never exceeds job count.
+	stats, err := Run(0, 2, func(int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workers < 1 || stats.Workers > 2 {
+		t.Fatalf("workers = %d", stats.Workers)
+	}
+	if _, err := Run(4, -1, func(int) error { return nil }); err == nil {
+		t.Fatal("negative job count should error")
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	out, stats, err := Map(4, 0, func(int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 || stats.Jobs != 0 {
+		t.Fatalf("empty batch: out=%v stats=%+v err=%v", out, stats, err)
+	}
+	if stats.Speedup() != 1 || stats.Throughput() != 0 {
+		t.Fatalf("degenerate stats: %+v", stats)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	stats, err := Run(2, 6, func(i int) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Busy() < 6*time.Millisecond {
+		t.Fatalf("busy = %v, want >= 6ms", stats.Busy())
+	}
+	for i, d := range stats.JobWall {
+		if d <= 0 {
+			t.Fatalf("job %d wall = %v", i, d)
+		}
+	}
+	if s := stats.String(); !strings.Contains(s, "6 jobs on 2 workers") {
+		t.Fatalf("stats string: %s", s)
+	}
+}

@@ -9,8 +9,11 @@
 package msgroofline
 
 import (
+	"encoding/json"
+	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"msgroofline/internal/bench"
 	"msgroofline/internal/ccl"
@@ -18,6 +21,8 @@ import (
 	"msgroofline/internal/hashtable"
 	"msgroofline/internal/machine"
 	"msgroofline/internal/shmem"
+	"msgroofline/internal/sim"
+	"msgroofline/internal/sim/simbench"
 	"msgroofline/internal/spmat"
 	"msgroofline/internal/sptrsv"
 	"msgroofline/internal/stencil"
@@ -405,4 +410,87 @@ func BenchmarkAblationCutThrough(b *testing.B) {
 		ratio = sf.Seconds() / ct.Seconds()
 	}
 	b.ReportMetric(ratio, "sfOverCt_x")
+}
+
+// ---------------------------------------------------------------------
+// Engine perf trajectory (BENCH_sim.json).
+//
+// The simulation engine is the hot path under every figure, so its
+// per-event cost is tracked across PRs in BENCH_sim.json at the repo
+// root. Run
+//
+//	BENCH_SIM_RECORD=<label> go test -run TestRecordSimPerfTrajectory .
+//
+// to append one record per canonical simbench workload; perf PRs
+// record a "before" and an "after" label and diff them.
+
+type simPerfRecord struct {
+	Label        string  `json:"label"`
+	Date         string  `json:"date"`
+	Bench        string  `json:"bench"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Events       uint64  `json:"events"`
+}
+
+type simPerfFile struct {
+	Schema  string          `json:"schema"`
+	Records []simPerfRecord `json:"records"`
+}
+
+const simPerfPath = "BENCH_sim.json"
+
+func TestRecordSimPerfTrajectory(t *testing.T) {
+	label := os.Getenv("BENCH_SIM_RECORD")
+	if label == "" {
+		t.Skip("set BENCH_SIM_RECORD=<label> to append engine perf numbers to BENCH_sim.json")
+	}
+	workloads := []struct {
+		name string
+		run  func(n int) *sim.Engine
+	}{
+		{"EngineSleepSignal", simbench.PingPong},
+		{"EngineSleepYield", simbench.SleepYield},
+		{"EngineTimerChurn", func(n int) *sim.Engine { return simbench.TimerChurn(64, n/64+1) }},
+		{"EngineBroadcast", func(n int) *sim.Engine { return simbench.Broadcast(32, n/32+1) }},
+	}
+	var recs []simPerfRecord
+	for _, w := range workloads {
+		var eng *sim.Engine
+		run := w.run
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			eng = run(b.N)
+		})
+		events := eng.Executed()
+		wallNs := float64(res.NsPerOp()) * float64(res.N)
+		nsPerEvent := wallNs / float64(events)
+		recs = append(recs, simPerfRecord{
+			Label:        label,
+			Date:         time.Now().UTC().Format("2006-01-02"),
+			Bench:        w.name,
+			NsPerEvent:   nsPerEvent,
+			AllocsPerOp:  res.AllocsPerOp(),
+			EventsPerSec: 1e9 / nsPerEvent,
+			Events:       events,
+		})
+		t.Logf("%s: %.1f ns/event, %d allocs/op, %d events", w.name, nsPerEvent, res.AllocsPerOp(), events)
+	}
+	var f simPerfFile
+	if data, err := os.ReadFile(simPerfPath); err == nil && len(data) > 0 {
+		if err := json.Unmarshal(data, &f); err != nil {
+			t.Fatalf("parse %s: %v", simPerfPath, err)
+		}
+	}
+	f.Schema = "sim-engine-perf/v1"
+	f.Records = append(f.Records, recs...)
+	out, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(simPerfPath, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("appended %d records to %s", len(recs), simPerfPath)
 }

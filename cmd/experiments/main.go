@@ -4,6 +4,7 @@
 // Usage:
 //
 //	experiments [-scale quick|full] [-only fig3,fig9] [-jobs N] [-csv DIR] [-list]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Experiments run concurrently on up to -jobs workers (default: the
 // number of CPUs); every experiment is an independent, deterministic
@@ -19,6 +20,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -32,7 +34,39 @@ func main() {
 	jobs := flag.Int("jobs", runtime.NumCPU(), "number of experiments regenerated concurrently")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV series")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range experiments.Registry() {

@@ -7,6 +7,8 @@
 //	msgroof -machine perlmutter-cpu -transport two-sided
 //	msgroof -machine perlmutter-gpu -transport gpu-shmem -csv out.csv
 //	msgroof -machine perlmutter-gpu -split          (Fig 10 experiment)
+//	msgroof -cpuprofile cpu.pprof -memprofile mem.pprof ...
+//	                                    (pprof profiles for engine perf work)
 //
 // Sweep points are independent simulations and run concurrently on up
 // to -jobs workers (default: the number of CPUs); output is
@@ -18,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"msgroofline/internal/bench"
@@ -34,7 +37,37 @@ func main() {
 	jobs := flag.Int("jobs", runtime.NumCPU(), "number of sweep points simulated concurrently")
 	split := flag.Bool("split", false, "run the Fig-10 message-splitting experiment instead of a sweep")
 	csvPath := flag.String("csv", "", "write measured series to this CSV file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "msgroof:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "msgroof:", err)
+			}
+		}()
+	}
 
 	cfg, err := machine.Get(*mName)
 	if err != nil {

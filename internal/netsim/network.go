@@ -19,12 +19,16 @@ type channelGroup struct {
 
 // Network is a directed multigraph of nodes joined by channel groups.
 // Routing is static shortest-path (hop count, ties broken by insertion
-// order), computed lazily and cached.
+// order), computed lazily and cached: each (src, dst) pair resolves
+// once to a *Path carrying the hop list and precomputed route metrics,
+// so steady-state sends do a single map probe and no allocation.
+// Callers on hot paths can hold the *Path themselves (see PathTo) and
+// skip even that probe.
 type Network struct {
 	nodes     []string
 	nodeIndex map[string]int
 	adj       map[string][]*channelGroup
-	routes    map[[2]string][]*channelGroup
+	paths     map[[2]string]*Path
 }
 
 // New returns an empty network.
@@ -32,7 +36,99 @@ func New() *Network {
 	return &Network{
 		nodeIndex: make(map[string]int),
 		adj:       make(map[string][]*channelGroup),
-		routes:    make(map[[2]string][]*channelGroup),
+		paths:     make(map[[2]string]*Path),
+	}
+}
+
+// Path is a resolved route between two nodes: the channel groups along
+// the shortest route plus route metrics precomputed at resolution
+// time. A Path stays valid until the topology changes (AddLink); hot
+// paths cache it to make per-message routing allocation- and
+// hash-free.
+type Path struct {
+	groups  []*channelGroup
+	hops    int
+	baseLat sim.Time
+	peakBW  float64
+	aggBW   float64
+	minCh   int
+}
+
+// Hops returns the number of hops (0 for a same-node path).
+func (p *Path) Hops() int { return p.hops }
+
+// BaseLatency returns the summed propagation latency along the route
+// (zero-byte wire time, no contention).
+func (p *Path) BaseLatency() sim.Time { return p.baseLat }
+
+// PeakBandwidth returns the single-channel bottleneck bandwidth
+// (bytes/s) along the route.
+func (p *Path) PeakBandwidth() float64 { return p.peakBW }
+
+// AggregateBandwidth returns the bottleneck of per-hop summed channel
+// bandwidth (bytes/s).
+func (p *Path) AggregateBandwidth() float64 { return p.aggBW }
+
+// Channels returns the minimum number of parallel channels along the
+// route (the usable injection-splitting width).
+func (p *Path) Channels() int { return p.minCh }
+
+// Transfer delivers a message of the given size along the path,
+// injected at time at on channel ch, using store-and-forward timing
+// per hop with FIFO link contention. It returns the delivery time of
+// the last byte.
+func (p *Path) Transfer(at sim.Time, bytes int64, ch int) sim.Time {
+	t := at
+	for _, g := range p.groups {
+		l := g.links[((ch%len(g.links))+len(g.links))%len(g.links)]
+		_, t = l.Reserve(t, bytes)
+	}
+	return t
+}
+
+// TransferPacket routes a fixed-occupancy packet (atomic transaction)
+// along the path injected at time at on channel ch: each hop is held
+// for `occupancy` against later packets while the packet itself cuts
+// through at propagation latency.
+func (p *Path) TransferPacket(at, occupancy sim.Time, ch int) sim.Time {
+	t := at
+	for _, g := range p.groups {
+		l := g.links[((ch%len(g.links))+len(g.links))%len(g.links)]
+		_, t = l.ReservePacket(t, occupancy)
+	}
+	return t
+}
+
+// metrics fills in the precomputed route summaries from the hop list.
+func (p *Path) metrics() {
+	p.hops = len(p.groups)
+	p.peakBW = math.Inf(1)
+	p.aggBW = math.Inf(1)
+	p.minCh = math.MaxInt
+	for _, g := range p.groups {
+		p.baseLat += g.links[0].Latency()
+		if b := g.links[0].Bandwidth(); b < p.peakBW {
+			p.peakBW = b
+		}
+		sum := 0.0
+		for _, l := range g.links {
+			sum += l.Bandwidth()
+		}
+		if sum < p.aggBW {
+			p.aggBW = sum
+		}
+		if len(g.links) < p.minCh {
+			p.minCh = len(g.links)
+		}
+	}
+	if math.IsInf(p.peakBW, 1) {
+		p.peakBW = 0
+	}
+	if math.IsInf(p.aggBW, 1) {
+		p.aggBW = 0
+	}
+	if p.minCh == math.MaxInt {
+		p.minCh = 1
 	}
 }
 
@@ -76,27 +172,41 @@ func (n *Network) AddLink(a, b string, bandwidth float64, latency sim.Time, chan
 	}
 	n.adj[a] = append(n.adj[a], fwd)
 	n.adj[b] = append(n.adj[b], rev)
-	n.routes = make(map[[2]string][]*channelGroup)
+	n.paths = make(map[[2]string]*Path)
 }
 
-// path returns the channel groups along the shortest (fewest-hop)
-// route from src to dst, caching the result. It panics on unknown
-// nodes and returns an error for disconnected pairs.
-func (n *Network) path(src, dst string) ([]*channelGroup, error) {
+// PathTo resolves (and caches) the shortest (fewest-hop) route from
+// src to dst. It panics on unknown nodes and returns an error for
+// disconnected pairs. The returned Path is shared: callers must treat
+// it as read-only, and may hold it for the lifetime of the topology to
+// bypass the cache probe entirely.
+func (n *Network) PathTo(src, dst string) (*Path, error) {
 	if !n.HasNode(src) {
 		panic(fmt.Sprintf("netsim: unknown node %q", src))
 	}
 	if !n.HasNode(dst) {
 		panic(fmt.Sprintf("netsim: unknown node %q", dst))
 	}
-	if src == dst {
-		return nil, nil
-	}
 	key := [2]string{src, dst}
-	if p, ok := n.routes[key]; ok {
+	if p, ok := n.paths[key]; ok {
 		return p, nil
 	}
-	// BFS over nodes, remembering the group used to reach each node.
+	p := &Path{}
+	if src != dst {
+		groups, err := n.bfs(src, dst)
+		if err != nil {
+			return nil, err
+		}
+		p.groups = groups
+	}
+	p.metrics()
+	n.paths[key] = p
+	return p, nil
+}
+
+// bfs finds the shortest route, remembering the group used to reach
+// each node.
+func (n *Network) bfs(src, dst string) ([]*channelGroup, error) {
 	type hop struct {
 		prev  string
 		group *channelGroup
@@ -130,7 +240,6 @@ func (n *Network) path(src, dst string) ([]*channelGroup, error) {
 	for i := range rev {
 		p[i] = rev[len(rev)-1-i]
 	}
-	n.routes[key] = p
 	return p, nil
 }
 
@@ -140,16 +249,11 @@ func (n *Network) path(src, dst string) ([]*channelGroup, error) {
 // returns the delivery time of the last byte, using store-and-forward
 // timing per hop with FIFO link contention.
 func (n *Network) Transfer(at sim.Time, src, dst string, bytes int64, ch int) (sim.Time, error) {
-	p, err := n.path(src, dst)
+	p, err := n.PathTo(src, dst)
 	if err != nil {
 		return 0, err
 	}
-	t := at
-	for _, g := range p {
-		l := g.links[((ch%len(g.links))+len(g.links))%len(g.links)]
-		_, t = l.Reserve(t, bytes)
-	}
-	return t, nil
+	return p.Transfer(at, bytes, ch), nil
 }
 
 // TransferPacket routes a fixed-occupancy packet (atomic transaction)
@@ -157,103 +261,63 @@ func (n *Network) Transfer(at sim.Time, src, dst string, bytes int64, ch int) (s
 // for `occupancy` against later packets while the packet itself cuts
 // through at propagation latency.
 func (n *Network) TransferPacket(at sim.Time, src, dst string, occupancy sim.Time, ch int) (sim.Time, error) {
-	p, err := n.path(src, dst)
+	p, err := n.PathTo(src, dst)
 	if err != nil {
 		return 0, err
 	}
-	t := at
-	for _, g := range p {
-		l := g.links[((ch%len(g.links))+len(g.links))%len(g.links)]
-		_, t = l.ReservePacket(t, occupancy)
-	}
-	return t, nil
+	return p.TransferPacket(at, occupancy, ch), nil
 }
 
 // Hops returns the number of hops between src and dst (0 for the same
 // node), or -1 if unreachable.
 func (n *Network) Hops(src, dst string) int {
-	p, err := n.path(src, dst)
+	p, err := n.PathTo(src, dst)
 	if err != nil {
 		return -1
 	}
-	return len(p)
+	return p.Hops()
 }
 
 // Channels returns the minimum number of parallel channels along the
 // route (the usable injection-splitting width), or 0 if unreachable.
 func (n *Network) Channels(src, dst string) int {
-	p, err := n.path(src, dst)
+	p, err := n.PathTo(src, dst)
 	if err != nil {
 		return 0
 	}
-	min := math.MaxInt
-	for _, g := range p {
-		if len(g.links) < min {
-			min = len(g.links)
-		}
-	}
-	if min == math.MaxInt {
-		return 1
-	}
-	return min
+	return p.Channels()
 }
 
 // PeakBandwidth returns the single-channel bottleneck bandwidth
 // (bytes/s) along the route, or 0 if unreachable. This is the ceiling
 // a single serialized message stream can achieve.
 func (n *Network) PeakBandwidth(src, dst string) float64 {
-	p, err := n.path(src, dst)
+	p, err := n.PathTo(src, dst)
 	if err != nil {
 		return 0
 	}
-	bw := math.Inf(1)
-	for _, g := range p {
-		if b := g.links[0].Bandwidth(); b < bw {
-			bw = b
-		}
-	}
-	if math.IsInf(bw, 1) {
-		return 0
-	}
-	return bw
+	return p.PeakBandwidth()
 }
 
 // AggregateBandwidth returns the bottleneck of per-hop summed channel
 // bandwidth (bytes/s): the ceiling reachable by splitting a message
 // across all parallel channels.
 func (n *Network) AggregateBandwidth(src, dst string) float64 {
-	p, err := n.path(src, dst)
+	p, err := n.PathTo(src, dst)
 	if err != nil {
 		return 0
 	}
-	bw := math.Inf(1)
-	for _, g := range p {
-		sum := 0.0
-		for _, l := range g.links {
-			sum += l.Bandwidth()
-		}
-		if sum < bw {
-			bw = sum
-		}
-	}
-	if math.IsInf(bw, 1) {
-		return 0
-	}
-	return bw
+	return p.AggregateBandwidth()
 }
 
 // BaseLatency returns the sum of propagation latencies along the
 // route (zero-byte wire time, no contention).
 func (n *Network) BaseLatency(src, dst string) sim.Time {
-	p, err := n.path(src, dst)
+	p, err := n.PathTo(src, dst)
 	if err != nil {
 		return 0
 	}
-	var lat sim.Time
-	for _, g := range p {
-		lat += g.links[0].Latency()
-	}
-	return lat
+	return p.BaseLatency()
 }
 
 // Reset clears reservation state and counters on every link.
@@ -291,13 +355,13 @@ func (n *Network) Stats() []LinkStats {
 // serialization time (contention is preserved); only the delivery
 // latency differs from Transfer's store-and-forward timing.
 func (n *Network) TransferCutThrough(at sim.Time, src, dst string, bytes int64, ch int) (sim.Time, error) {
-	p, err := n.path(src, dst)
+	p, err := n.PathTo(src, dst)
 	if err != nil {
 		return 0, err
 	}
-	ser := sim.TransferTime(bytes, n.PeakBandwidth(src, dst))
+	ser := sim.TransferTime(bytes, p.PeakBandwidth())
 	t := at
-	for _, g := range p {
+	for _, g := range p.groups {
 		l := g.links[((ch%len(g.links))+len(g.links))%len(g.links)]
 		start := t
 		if l.freeAt > start {

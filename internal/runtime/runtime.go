@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"msgroofline/internal/machine"
+	"msgroofline/internal/netsim"
 	"msgroofline/internal/sim"
 )
 
@@ -67,6 +68,77 @@ type Endpoint struct {
 	// atomicFree serializes remote atomics targeting this endpoint's
 	// memory (one at a time at the memory controller).
 	atomicFree sim.Time
+	// plans caches the resolved fabric route(s) to each destination
+	// rank (lazily built; topology is static after instantiation), so
+	// the per-send path does no map probes and no allocation.
+	plans []*wirePlan
+}
+
+// wirePlan is the cached routing decision from one endpoint to one
+// destination rank.
+type wirePlan struct {
+	sameNode    bool
+	crossSocket bool
+	direct      *netsim.Path   // node-to-node route (nil when sameNode)
+	staged      []*netsim.Path // host-staged legs, built on first staged send
+	stagedBuilt bool
+}
+
+// planTo returns the cached wire plan from ep to rank dst, resolving
+// it on first use.
+func (ep *Endpoint) planTo(dst int) *wirePlan {
+	if ep.plans == nil {
+		ep.plans = make([]*wirePlan, ep.world.Size())
+	}
+	if pl := ep.plans[dst]; pl != nil {
+		return pl
+	}
+	inst := ep.world.Inst
+	pl := &wirePlan{
+		sameNode:    inst.SameNode(ep.rank, dst),
+		crossSocket: inst.CrossSocket(ep.rank, dst),
+	}
+	if !pl.sameNode {
+		p, err := inst.Net.PathTo(inst.Places[ep.rank].Node, inst.Places[dst].Node)
+		if err != nil {
+			panic(fmt.Sprintf("runtime: %v", err))
+		}
+		pl.direct = p
+	}
+	ep.plans[dst] = pl
+	return pl
+}
+
+// stagedLegs resolves (once) the device->host, host->host, host->device
+// legs of a host-staged transfer toward dst. Legs whose endpoints
+// coincide resolve to nil and are skipped at send time. It returns nil
+// when either side has no host (the caller falls back to the direct
+// route).
+func (ep *Endpoint) stagedLegs(pl *wirePlan, dst int) []*netsim.Path {
+	if !pl.stagedBuilt {
+		pl.stagedBuilt = true
+		inst := ep.world.Inst
+		srcPlace, dstPlace := inst.Places[ep.rank], inst.Places[dst]
+		if srcPlace.Host != "" && dstPlace.Host != "" {
+			legs := [][2]string{
+				{srcPlace.Node, srcPlace.Host},
+				{srcPlace.Host, dstPlace.Host},
+				{dstPlace.Host, dstPlace.Node},
+			}
+			pl.staged = make([]*netsim.Path, len(legs))
+			for i, leg := range legs {
+				if leg[0] == leg[1] {
+					continue
+				}
+				p, err := inst.Net.PathTo(leg[0], leg[1])
+				if err != nil {
+					panic(fmt.Sprintf("runtime: %v", err))
+				}
+				pl.staged[i] = p
+			}
+		}
+	}
+	return pl.staged
 }
 
 // Rank returns the endpoint's rank id.
@@ -125,46 +197,34 @@ func (ep *Endpoint) Inject(tp machine.TransportParams, dst int, bytes int64, ch 
 }
 
 // wireTime computes the arrival time of the last byte at dst for a
-// message leaving the NIC at start.
+// message leaving the NIC at start, using the cached wire plan.
 func (ep *Endpoint) wireTime(tp machine.TransportParams, start sim.Time, dst int, bytes int64, ch int) sim.Time {
 	inst := ep.world.Inst
-	src := ep.rank
-	if inst.SameNode(src, dst) {
+	pl := ep.planTo(dst)
+	if pl.sameNode {
 		// Shared memory: pipeline latency + copy at memory bandwidth.
 		return start + tp.SoftLatency + inst.Cfg.MemLatency +
 			sim.TransferTime(bytes, inst.Cfg.MemBandwidth)
 	}
 	lat := tp.SoftLatency
-	if tp.CrossSocketExtra > 0 && inst.CrossSocket(src, dst) {
+	if tp.CrossSocketExtra > 0 && pl.crossSocket {
 		lat += tp.CrossSocketExtra
 	}
 	t := start + lat
-	srcPlace, dstPlace := inst.Places[src], inst.Places[dst]
-	if tp.HostStaged && srcPlace.Host != "" && dstPlace.Host != "" {
-		// Device -> host copy, host-to-host MPI, host -> device copy:
-		// three fabric legs, each reserving its links.
-		legs := [][2]string{
-			{srcPlace.Node, srcPlace.Host},
-			{srcPlace.Host, dstPlace.Host},
-			{dstPlace.Host, dstPlace.Node},
-		}
-		for _, leg := range legs {
-			if leg[0] == leg[1] {
-				continue
+	if tp.HostStaged {
+		if legs := ep.stagedLegs(pl, dst); legs != nil {
+			// Device -> host copy, host-to-host MPI, host -> device
+			// copy: three fabric legs, each reserving its links.
+			for _, leg := range legs {
+				if leg == nil {
+					continue
+				}
+				t = leg.Transfer(t, bytes, ch)
 			}
-			at, err := inst.Net.Transfer(t, leg[0], leg[1], bytes, ch)
-			if err != nil {
-				panic(fmt.Sprintf("runtime: %v", err))
-			}
-			t = at
+			return t
 		}
-		return t
 	}
-	at, err := inst.Net.Transfer(t, srcPlace.Node, dstPlace.Node, bytes, ch)
-	if err != nil {
-		panic(fmt.Sprintf("runtime: %v", err))
-	}
-	return at
+	return pl.direct.Transfer(t, bytes, ch)
 }
 
 // WireLatency is the zero-contention propagation latency from this
@@ -173,11 +233,11 @@ func (ep *Endpoint) wireTime(tp machine.TransportParams, start sim.Time, dst int
 // directly, bypassing the software pipeline latency that full
 // messages pay.
 func (ep *Endpoint) WireLatency(dst int) sim.Time {
-	inst := ep.world.Inst
-	if inst.SameNode(ep.rank, dst) {
-		return inst.Cfg.MemLatency
+	pl := ep.planTo(dst)
+	if pl.sameNode {
+		return ep.world.Inst.Cfg.MemLatency
 	}
-	return inst.Net.BaseLatency(inst.Places[ep.rank].Node, inst.Places[dst].Node)
+	return pl.direct.BaseLatency()
 }
 
 // RemoteAtomic performs a blocking remote atomic against dst: the
@@ -223,18 +283,13 @@ func (ep *Endpoint) RemoteAtomic(p *sim.Proc, tp machine.TransportParams, dst in
 // for that long (transaction-rate-limited fabrics); otherwise it
 // rides at pure propagation latency.
 func (ep *Endpoint) atomicFlight(tp machine.TransportParams, from, to int, at sim.Time) sim.Time {
-	inst := ep.world.Inst
-	if inst.SameNode(from, to) {
-		return at + inst.Cfg.MemLatency
+	src := ep.world.eps[from]
+	pl := src.planTo(to)
+	if pl.sameNode {
+		return at + ep.world.Inst.Cfg.MemLatency
 	}
-	a, b := inst.Places[from].Node, inst.Places[to].Node
 	if tp.AtomicLinkOccupancy > 0 {
-		src := ep.world.eps[from]
-		arrive, err := inst.Net.TransferPacket(at, a, b, tp.AtomicLinkOccupancy, src.AutoChannel())
-		if err != nil {
-			panic(fmt.Sprintf("runtime: %v", err))
-		}
-		return arrive
+		return pl.direct.TransferPacket(at, tp.AtomicLinkOccupancy, src.AutoChannel())
 	}
-	return at + inst.Net.BaseLatency(a, b)
+	return at + pl.direct.BaseLatency()
 }

@@ -1,82 +1,122 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 	"sort"
 )
 
-// Event is a scheduled callback. Events with equal timestamps fire in
-// the order they were scheduled (FIFO), which keeps runs deterministic.
+// Event is a cancelable handle to a scheduled callback. The engine
+// recycles event storage through a free list, so the handle addresses
+// its slot through a generation counter: canceling after the event has
+// fired (and its slot has been reused by a later event) is a safe
+// no-op. The zero Event is inert.
+//
+// Events with equal timestamps fire in the order they were scheduled
+// (FIFO), which keeps runs deterministic.
 type Event struct {
+	eng      *Engine
 	at       Time
-	seq      uint64
-	fn       func()
+	slot     int32
+	gen      uint32
 	canceled bool
-	index    int // heap index, -1 once popped
 }
 
 // Cancel prevents the event from firing. Canceling an already-fired or
 // already-canceled event is a no-op.
-func (ev *Event) Cancel() { ev.canceled = true }
+func (ev *Event) Cancel() {
+	if ev.canceled {
+		return
+	}
+	ev.canceled = true
+	if ev.eng == nil {
+		return
+	}
+	if nd := &ev.eng.nodes[ev.slot]; nd.gen == ev.gen {
+		nd.canceled = true
+	}
+}
 
-// Canceled reports whether Cancel was called.
+// Canceled reports whether Cancel was called on this handle.
 func (ev *Event) Canceled() bool { return ev.canceled }
 
 // At returns the simulated time the event is scheduled for.
 func (ev *Event) At() Time { return ev.at }
 
-type eventHeap []*Event
+// eventNode is the pooled storage behind an Event. A node either
+// carries a callback (fn) or is a pre-bound process wakeup (wake);
+// wakeups carry no closure, so the Sleep/Signal hot path allocates
+// nothing. gen increments every time the slot is recycled.
+type eventNode struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	wake     *Proc
+	gen      uint32
+	canceled bool
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// heapEnt is one entry of the time-ordered queue. The ordering key
+// (at, seq) is stored inline so sift comparisons never chase a node
+// pointer, and the slice layout avoids the interface boxing of
+// container/heap's Push/Pop.
+type heapEnt struct {
+	at   Time
+	seq  uint64
+	slot int32
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+func heapLess(a, b *heapEnt) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+
+// nowEnt is one entry of the same-timestamp FIFO ring. All queued
+// entries are scheduled for the current time, so only seq (for
+// ordering against equal-time heap entries) and the slot are kept.
+type nowEnt struct {
+	seq  uint64
+	slot int32
 }
 
 // Engine is a sequential discrete-event simulator. It is not safe for
 // concurrent use from multiple goroutines except through the Proc
 // coroutine handshake, which guarantees only one simulated process (or
 // the engine itself) runs at any moment.
+//
+// Internally the pending-event set is split in two: a FIFO "now queue"
+// ring buffer for events at the current timestamp (the dominant class:
+// Sleep(0), Signal/Broadcast wakeups, Spawn starts and eager-protocol
+// deliveries all schedule at delay zero) and an inlined 4-ary min-heap
+// keyed on (at, seq) for future events. Event storage is pooled on a
+// free list. See DESIGN.md §7 for the invariants.
 type Engine struct {
-	now    Time
-	events eventHeap
-	seq    uint64
-
-	turn     chan struct{} // procs yield control back on this channel
-	live     int           // spawned, not yet finished procs
-	parked   map[*Proc]struct{}
-	running  *Proc
+	now      Time
+	seq      uint64
 	executed uint64
 	maxEv    uint64 // 0 = unlimited
+	horizon  Time   // RunUntil bound; handoffs must not dispatch beyond it
+
+	nodes []eventNode // slot-addressed pool
+	free  []int32     // free-list stack of recycled slots
+
+	heap []heapEnt // 4-ary min-heap of future events
+
+	nowq    []nowEnt // ring buffer of events at the current time
+	nowHead int
+	nowLen  int
+
+	turn chan struct{} // procs yield control back on this channel
+	live int           // spawned, not yet finished procs
+
+	parkedHead *Proc // intrusive list of cond-parked procs (deadlock reporting)
+	parkedN    int
 }
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
 	return &Engine{
-		turn:   make(chan struct{}),
-		parked: make(map[*Proc]struct{}),
+		turn:    make(chan struct{}),
+		horizon: math.MaxInt64,
 	}
 }
 
@@ -90,10 +130,51 @@ func (e *Engine) Executed() uint64 { return e.executed }
 // an error when it is exceeded. Zero (the default) means no limit.
 func (e *Engine) SetEventLimit(n uint64) { e.maxEv = n }
 
+// alloc takes a slot from the free list (or grows the pool) and stamps
+// it with the scheduling time and the next sequence number.
+func (e *Engine) alloc(at Time) int32 {
+	var slot int32
+	if n := len(e.free); n > 0 {
+		slot = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.nodes = append(e.nodes, eventNode{})
+		slot = int32(len(e.nodes) - 1)
+	}
+	nd := &e.nodes[slot]
+	nd.at = at
+	nd.seq = e.seq
+	e.seq++
+	return slot
+}
+
+// freeSlot recycles a node. Bumping gen invalidates every outstanding
+// Event handle to the old occupant, which is what makes Cancel safe
+// after recycling.
+func (e *Engine) freeSlot(slot int32) {
+	nd := &e.nodes[slot]
+	nd.fn = nil
+	nd.wake = nil
+	nd.canceled = false
+	nd.gen++
+	e.free = append(e.free, slot)
+}
+
+// enqueue routes a freshly allocated slot to the now queue (at == now)
+// or the heap (at > now). Callers clamp at to >= e.now first.
+func (e *Engine) enqueue(slot int32) {
+	nd := &e.nodes[slot]
+	if nd.at <= e.now {
+		e.nowPush(nowEnt{seq: nd.seq, slot: slot})
+	} else {
+		e.heapPush(heapEnt{at: nd.at, seq: nd.seq, slot: slot})
+	}
+}
+
 // Schedule registers fn to run after delay. A negative delay is an
 // immediate event (fires at the current time, after already-queued
 // events with the same timestamp).
-func (e *Engine) Schedule(delay Time, fn func()) *Event {
+func (e *Engine) Schedule(delay Time, fn func()) Event {
 	if delay < 0 {
 		delay = 0
 	}
@@ -101,44 +182,238 @@ func (e *Engine) Schedule(delay Time, fn func()) *Event {
 }
 
 // At registers fn to run at absolute time t (clamped to now).
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Event {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, ev)
-	return ev
+	slot := e.alloc(t)
+	nd := &e.nodes[slot]
+	nd.fn = fn
+	e.enqueue(slot)
+	return Event{eng: e, at: t, slot: slot, gen: nd.gen}
+}
+
+// scheduleWake registers a pre-bound wakeup of p after delay: the
+// pooled node carries only the *Proc, so the call allocates nothing.
+func (e *Engine) scheduleWake(delay Time, p *Proc) {
+	if delay < 0 {
+		delay = 0
+	}
+	slot := e.alloc(e.now + delay)
+	e.nodes[slot].wake = p
+	e.enqueue(slot)
+}
+
+// --- now-queue ring buffer ---
+
+func (e *Engine) nowPush(ent nowEnt) {
+	if e.nowLen == len(e.nowq) {
+		e.nowGrow()
+	}
+	e.nowq[(e.nowHead+e.nowLen)&(len(e.nowq)-1)] = ent
+	e.nowLen++
+}
+
+func (e *Engine) nowGrow() {
+	if len(e.nowq) == 0 {
+		e.nowq = make([]nowEnt, 64)
+		return
+	}
+	grown := make([]nowEnt, 2*len(e.nowq))
+	for i := 0; i < e.nowLen; i++ {
+		grown[i] = e.nowq[(e.nowHead+i)&(len(e.nowq)-1)]
+	}
+	e.nowq = grown
+	e.nowHead = 0
+}
+
+func (e *Engine) nowPop() nowEnt {
+	ent := e.nowq[e.nowHead]
+	e.nowHead = (e.nowHead + 1) & (len(e.nowq) - 1)
+	e.nowLen--
+	return ent
+}
+
+// --- 4-ary min-heap ---
+
+func (e *Engine) heapPush(ent heapEnt) {
+	h := append(e.heap, ent)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !heapLess(&h[i], &h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.heap = h
+}
+
+func (e *Engine) heapPop() heapEnt {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	e.heap = h
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if heapLess(&h[j], &h[m]) {
+				m = j
+			}
+		}
+		if !heapLess(&h[m], &h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
+}
+
+// --- dispatch core ---
+
+// dropCanceled frees canceled events sitting at the head of either
+// queue, so peeks and pops see only live events at the front.
+func (e *Engine) dropCanceled() {
+	for e.nowLen > 0 && e.nodes[e.nowq[e.nowHead].slot].canceled {
+		e.freeSlot(e.nowPop().slot)
+	}
+	for len(e.heap) > 0 && e.nodes[e.heap[0].slot].canceled {
+		e.freeSlot(e.heapPop().slot)
+	}
+}
+
+// peekMin returns the time and slot of the earliest live pending
+// event without removing it. Clock invariant: every now-queue entry is
+// scheduled for exactly e.now (the clock only advances when the now
+// queue is empty), and every heap entry has at >= e.now, so the now
+// queue wins unless the heap holds an equal-time entry with an earlier
+// sequence number.
+func (e *Engine) peekMin() (Time, int32, bool) {
+	e.dropCanceled()
+	if e.nowLen > 0 {
+		q := &e.nowq[e.nowHead]
+		if len(e.heap) > 0 {
+			if h := &e.heap[0]; h.at == e.now && h.seq < q.seq {
+				return h.at, h.slot, true
+			}
+		}
+		return e.now, q.slot, true
+	}
+	if len(e.heap) > 0 {
+		return e.heap[0].at, e.heap[0].slot, true
+	}
+	return 0, -1, false
+}
+
+// popMin removes and returns the slot of the earliest pending event
+// (canceled entries included; callers filter), or -1 when none remain.
+func (e *Engine) popMin() int32 {
+	if e.nowLen > 0 {
+		q := &e.nowq[e.nowHead]
+		if len(e.heap) > 0 {
+			if h := &e.heap[0]; h.at == e.now && h.seq < q.seq {
+				return e.heapPop().slot
+			}
+		}
+		return e.nowPop().slot
+	}
+	if len(e.heap) > 0 {
+		return e.heapPop().slot
+	}
+	return -1
 }
 
 // step dispatches the next event. It reports false when the queue is
 // empty.
 func (e *Engine) step() bool {
-	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(*Event)
-		if ev.canceled {
+	for {
+		slot := e.popMin()
+		if slot < 0 {
+			return false
+		}
+		nd := &e.nodes[slot]
+		if nd.canceled {
+			e.freeSlot(slot)
 			continue
 		}
-		if ev.at > e.now {
-			e.now = ev.at
+		if nd.at > e.now {
+			e.now = nd.at
 		}
 		e.executed++
-		ev.fn()
+		p, fn := nd.wake, nd.fn
+		e.freeSlot(slot)
+		if p != nil {
+			if p.preWake != nil {
+				p.preWake()
+			}
+			e.dispatch(p)
+		} else {
+			fn()
+		}
 		return true
 	}
-	return false
+}
+
+// handoffTarget pops and returns the process behind the globally next
+// event when that event is a pre-bound wakeup the parking process may
+// execute itself — the direct proc-to-proc handoff fast path (one
+// channel handshake per context switch instead of two). It returns nil
+// when the next event is a callback (or none exists), when the event
+// limit has been reached, or when the wakeup lies beyond the RunUntil
+// horizon; the engine loop then takes over.
+func (e *Engine) handoffTarget() *Proc {
+	for {
+		if e.maxEv != 0 && e.executed >= e.maxEv {
+			return nil
+		}
+		at, slot, ok := e.peekMin()
+		if !ok || at > e.horizon {
+			return nil
+		}
+		p := e.nodes[slot].wake
+		if p == nil {
+			return nil
+		}
+		e.popMin()
+		if at > e.now {
+			e.now = at
+		}
+		e.executed++
+		e.freeSlot(slot)
+		if p.done {
+			continue // stale wakeup for a finished process
+		}
+		if p.preWake != nil {
+			p.preWake()
+		}
+		return p
+	}
 }
 
 // Run dispatches events until none remain. It returns a DeadlockError
 // if simulated processes are still parked when the queue drains, or an
 // event-limit error if the configured cap is exceeded.
 func (e *Engine) Run() error {
+	e.horizon = math.MaxInt64
 	for e.step() {
 		if e.maxEv != 0 && e.executed > e.maxEv {
 			return fmt.Errorf("sim: event limit %d exceeded at t=%v", e.maxEv, e.now)
 		}
 	}
-	if len(e.parked) > 0 {
+	if e.parkedN > 0 {
 		return e.deadlock()
 	}
 	return nil
@@ -148,20 +423,19 @@ func (e *Engine) Run() error {
 // clock to t. Parked processes are not treated as a deadlock (they may
 // be legitimately waiting for stimuli the caller will inject later).
 func (e *Engine) RunUntil(t Time) error {
-	for e.events.Len() > 0 {
-		next := e.events[0]
-		if next.canceled {
-			heap.Pop(&e.events)
-			continue
-		}
-		if next.at > t {
+	e.horizon = t
+	for {
+		at, _, ok := e.peekMin()
+		if !ok || at > t {
 			break
 		}
 		e.step()
 		if e.maxEv != 0 && e.executed > e.maxEv {
+			e.horizon = math.MaxInt64
 			return fmt.Errorf("sim: event limit %d exceeded at t=%v", e.maxEv, e.now)
 		}
 	}
+	e.horizon = math.MaxInt64
 	if t > e.now {
 		e.now = t
 	}
@@ -181,10 +455,39 @@ func (d *DeadlockError) Error() string {
 }
 
 func (e *Engine) deadlock() error {
-	names := make([]string, 0, len(e.parked))
-	for p := range e.parked {
+	names := make([]string, 0, e.parkedN)
+	for p := e.parkedHead; p != nil; p = p.parkedNext {
 		names = append(names, p.name)
 	}
 	sort.Strings(names)
 	return &DeadlockError{Time: e.now, Parked: names}
+}
+
+// addParked links p into the cond-parked list (deadlock accounting).
+func (e *Engine) addParked(p *Proc) {
+	p.isParked = true
+	p.parkedNext = e.parkedHead
+	if e.parkedHead != nil {
+		e.parkedHead.parkedPrev = p
+	}
+	e.parkedHead = p
+	e.parkedN++
+}
+
+// removeParked unlinks p; a no-op if p is not in the list.
+func (e *Engine) removeParked(p *Proc) {
+	if !p.isParked {
+		return
+	}
+	p.isParked = false
+	if p.parkedPrev != nil {
+		p.parkedPrev.parkedNext = p.parkedNext
+	} else {
+		e.parkedHead = p.parkedNext
+	}
+	if p.parkedNext != nil {
+		p.parkedNext.parkedPrev = p.parkedPrev
+	}
+	p.parkedPrev, p.parkedNext = nil, nil
+	e.parkedN--
 }

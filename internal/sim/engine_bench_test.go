@@ -1,0 +1,58 @@
+package sim_test
+
+// Engine hot-path microbenchmarks over the canonical simbench
+// workloads. Each benchmark sizes the workload by b.N, so ns/op and
+// allocs/op are per simulated iteration; ns/event (reported metric)
+// divides wall time by the number of dispatched events.
+//
+// CI gate: BenchmarkEngineSleepSignal and BenchmarkEngineSleepYield
+// must report 0 allocs/op at steady state (see .github/workflows/ci.yml
+// and the acceptance criteria in DESIGN.md §7).
+
+import (
+	"testing"
+
+	"msgroofline/internal/sim"
+	"msgroofline/internal/sim/simbench"
+)
+
+func reportPerEvent(b *testing.B, e *sim.Engine) {
+	b.Helper()
+	if ev := e.Executed(); ev > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(ev), "ns/event")
+	}
+}
+
+// BenchmarkEngineSleepSignal is the steady-state Sleep/Signal
+// ping-pong: the zero-allocation acceptance benchmark.
+func BenchmarkEngineSleepSignal(b *testing.B) {
+	b.ReportAllocs()
+	e := simbench.PingPong(b.N)
+	reportPerEvent(b, e)
+}
+
+// BenchmarkEngineSleepYield measures the Sleep(0) same-timestamp
+// fast path (now-queue / self-handoff).
+func BenchmarkEngineSleepYield(b *testing.B) {
+	b.ReportAllocs()
+	e := simbench.SleepYield(b.N)
+	reportPerEvent(b, e)
+}
+
+// BenchmarkEngineTimerChurn measures the time-ordered heap path with
+// 64 processes sleeping pseudorandom durations.
+func BenchmarkEngineTimerChurn(b *testing.B) {
+	b.ReportAllocs()
+	n := b.N/64 + 1
+	e := simbench.TimerChurn(64, n)
+	reportPerEvent(b, e)
+}
+
+// BenchmarkEngineBroadcast measures fan-out wakeups: 32 waiters woken
+// together per round.
+func BenchmarkEngineBroadcast(b *testing.B) {
+	b.ReportAllocs()
+	n := b.N/32 + 1
+	e := simbench.Broadcast(32, n)
+	reportPerEvent(b, e)
+}

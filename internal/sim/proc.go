@@ -11,6 +11,12 @@ type Proc struct {
 	resume  chan struct{}
 	done    bool
 	preWake func() // set during WaitTimeout to discriminate signal vs timeout
+
+	waitIdx int // absolute position in the Cond's waiter queue while parked
+
+	// intrusive membership in the engine's cond-parked list
+	isParked               bool
+	parkedNext, parkedPrev *Proc
 }
 
 // Spawn creates a simulated process running fn. The process starts at
@@ -25,9 +31,15 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		fn(p)
 		p.done = true
 		e.live--
-		e.turn <- struct{}{} // final yield
+		// Final yield: hand the turn straight to the next wakeup when
+		// possible, otherwise back to the engine loop.
+		if q := e.handoffTarget(); q != nil {
+			q.resume <- struct{}{}
+		} else {
+			e.turn <- struct{}{}
+		}
 	}()
-	e.Schedule(0, func() { e.dispatch(p) })
+	e.scheduleWake(0, p)
 	return p
 }
 
@@ -37,18 +49,29 @@ func (e *Engine) dispatch(p *Proc) {
 	if p.done {
 		return
 	}
-	prev := e.running
-	e.running = p
 	p.resume <- struct{}{}
 	<-e.turn
-	e.running = prev
 }
 
-// park yields the turn back to the engine and blocks until dispatched
-// again. The caller must have arranged a wakeup (a scheduled event or
-// a condition registration) or the run will end in a deadlock report.
+// park yields the turn and blocks until dispatched again. The caller
+// must have arranged a wakeup (a scheduled event or a condition
+// registration) or the run will end in a deadlock report.
+//
+// Fast paths: when the globally next event is a pre-bound wakeup, the
+// parking process dispatches it directly — consuming its own wakeup
+// without any channel operation (Sleep with nothing else pending), or
+// handing the turn to the woken process in a single channel handshake
+// instead of routing through the engine goroutine.
 func (p *Proc) park() {
-	p.eng.turn <- struct{}{}
+	e := p.eng
+	if q := e.handoffTarget(); q != nil {
+		if q == p {
+			return // consumed our own wakeup; keep running
+		}
+		q.resume <- struct{}{}
+	} else {
+		e.turn <- struct{}{}
+	}
 	<-p.resume
 }
 
@@ -63,25 +86,82 @@ func (p *Proc) Now() Time { return p.eng.now }
 
 // Sleep advances this process's local view of time by d: it parks and
 // resumes once the simulated clock has advanced past d. Sleep(0) yields
-// the turn (other events at the same timestamp run first).
+// the turn (other events at the same timestamp run first). The wakeup
+// is a pre-bound pooled event: no closure, no allocation.
 func (p *Proc) Sleep(d Time) {
-	if d < 0 {
-		d = 0
-	}
-	p.eng.Schedule(d, func() { p.eng.dispatch(p) })
+	p.eng.scheduleWake(d, p)
 	p.park()
 }
 
 // Cond is a condition variable for simulated processes. Waiters park;
 // Signal and Broadcast schedule wakeups at the current simulated time.
 // All operations must happen inside the engine's context.
+//
+// The waiter queue is FIFO (Signal wakes the longest-waiting process —
+// this ordering is a determinism invariant) with O(1) amortized
+// removal: timed-out waiters are nil-ed in place via their recorded
+// queue position rather than spliced out, and the front is compacted
+// as it drains. A swap-remove would be O(1) too but would reorder
+// waiters and change simulated wake order.
 type Cond struct {
 	eng     *Engine
 	waiters []*Proc
+	head    int // index of the first live entry in waiters
+	off     int // absolute position of waiters[0] (grows with compaction)
+	n       int // live (non-removed) waiters
 }
 
 // NewCond returns a condition variable bound to e.
 func NewCond(e *Engine) *Cond { return &Cond{eng: e} }
+
+// push appends p to the waiter queue, recording its absolute position
+// for O(1) removal.
+func (c *Cond) push(p *Proc) {
+	p.waitIdx = c.off + len(c.waiters)
+	c.waiters = append(c.waiters, p)
+	c.n++
+}
+
+// popFront returns the longest-waiting live waiter, or nil.
+func (c *Cond) popFront() *Proc {
+	for c.head < len(c.waiters) {
+		p := c.waiters[c.head]
+		c.waiters[c.head] = nil
+		c.head++
+		if p != nil {
+			c.compact()
+			c.n--
+			return p
+		}
+	}
+	c.compact()
+	return nil
+}
+
+// compact reclaims the drained front so the queue stays O(live)
+// amortized even when it never fully empties.
+func (c *Cond) compact() {
+	if c.head == len(c.waiters) {
+		c.off += c.head
+		c.head = 0
+		c.waiters = c.waiters[:0]
+	} else if c.head > 32 && c.head*2 >= len(c.waiters) {
+		kept := copy(c.waiters, c.waiters[c.head:])
+		c.off += c.head
+		c.head = 0
+		c.waiters = c.waiters[:kept]
+	}
+}
+
+// remove drops p from the waiter queue in O(1) via its recorded
+// position (used by the WaitTimeout timeout path).
+func (c *Cond) remove(p *Proc) {
+	i := p.waitIdx - c.off
+	if i >= c.head && i < len(c.waiters) && c.waiters[i] == p {
+		c.waiters[i] = nil
+		c.n--
+	}
+}
 
 // Wait parks p until the condition is signaled. As with sync.Cond, the
 // awakened process must re-check its predicate.
@@ -89,8 +169,8 @@ func (c *Cond) Wait(p *Proc) {
 	if p.eng != c.eng {
 		panic("sim: Cond.Wait with process from a different engine")
 	}
-	c.waiters = append(c.waiters, p)
-	c.eng.parked[p] = struct{}{}
+	c.push(p)
+	c.eng.addParked(p)
 	p.park()
 }
 
@@ -100,16 +180,16 @@ func (c *Cond) Wait(p *Proc) {
 func (c *Cond) WaitTimeout(p *Proc, d Time) bool {
 	signaled := false
 	fired := false
-	c.waiters = append(c.waiters, p)
-	c.eng.parked[p] = struct{}{}
-	var timer *Event
+	c.push(p)
+	c.eng.addParked(p)
+	var timer Event
 	timer = c.eng.Schedule(d, func() {
 		if fired {
 			return
 		}
 		fired = true
 		c.remove(p)
-		delete(c.eng.parked, p)
+		c.eng.removeParked(p)
 		c.eng.dispatch(p)
 	})
 	p.preWake = func() {
@@ -124,44 +204,27 @@ func (c *Cond) WaitTimeout(p *Proc, d Time) bool {
 	return signaled
 }
 
-func (c *Cond) remove(p *Proc) {
-	for i, w := range c.waiters {
-		if w == p {
-			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
-			return
-		}
-	}
-}
-
-// Signal wakes the longest-waiting process, if any.
+// Signal wakes the longest-waiting process, if any. The wakeup is a
+// pre-bound pooled event at the current time: no closure, no
+// allocation.
 func (c *Cond) Signal() {
-	if len(c.waiters) == 0 {
+	p := c.popFront()
+	if p == nil {
 		return
 	}
-	p := c.waiters[0]
-	c.waiters = c.waiters[1:]
-	delete(c.eng.parked, p)
-	c.eng.Schedule(0, func() {
-		if p.preWake != nil {
-			p.preWake()
-		}
-		c.eng.dispatch(p)
-	})
+	c.eng.removeParked(p)
+	c.eng.scheduleWake(0, p)
 }
 
 // Broadcast wakes every waiting process, in FIFO order.
 func (c *Cond) Broadcast() {
-	ws := c.waiters
-	c.waiters = nil
-	for _, p := range ws {
-		delete(c.eng.parked, p)
-		q := p
-		c.eng.Schedule(0, func() {
-			if q.preWake != nil {
-				q.preWake()
-			}
-			c.eng.dispatch(q)
-		})
+	for {
+		p := c.popFront()
+		if p == nil {
+			return
+		}
+		c.eng.removeParked(p)
+		c.eng.scheduleWake(0, p)
 	}
 }
 
@@ -174,4 +237,4 @@ func (c *Cond) WaitFor(p *Proc, pred func() bool) {
 }
 
 // NumWaiters reports how many processes are currently parked on c.
-func (c *Cond) NumWaiters() int { return len(c.waiters) }
+func (c *Cond) NumWaiters() int { return c.n }

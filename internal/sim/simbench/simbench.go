@@ -1,0 +1,103 @@
+// Package simbench holds the canonical engine hot-path workloads used
+// by the engine microbenchmarks, the BENCH_sim.json perf-trajectory
+// emitter, and the CI bench smoke job. Keeping them in one place
+// guarantees that "before" and "after" measurements of an engine
+// change exercise byte-for-byte the same simulated work.
+//
+// Every workload is deterministic, uses only the public sim API, and
+// returns the engine so callers can read Executed() and convert
+// wall-clock cost into ns/event.
+package simbench
+
+import "msgroofline/internal/sim"
+
+// PingPong is the steady-state Sleep/Signal workload: two processes
+// hand a condition-variable token back and forth n times. Each round
+// trip is two Signal wakeups plus two parks — the engine's dominant
+// pattern under eager-protocol traffic. This is the workload the
+// zero-allocation acceptance gate is measured on.
+func PingPong(n int) *sim.Engine {
+	e := sim.NewEngine()
+	ping, pong := sim.NewCond(e), sim.NewCond(e)
+	e.Spawn("pong", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			pong.Wait(p)
+			ping.Signal()
+		}
+	})
+	e.Spawn("ping", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			pong.Signal()
+			ping.Wait(p)
+		}
+	})
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// SleepYield is the pure yield workload: one process calls Sleep(0)
+// n times. Every iteration is one same-timestamp wake event — the
+// now-queue / self-handoff fast path.
+func SleepYield(n int) *sim.Engine {
+	e := sim.NewEngine()
+	e.Spawn("yielder", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			p.Sleep(0)
+		}
+	})
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// TimerChurn is the heap workload: `procs` processes each sleep n
+// times for pseudorandom positive durations (deterministic LCG), so
+// nearly every event goes through the time-ordered queue rather than
+// the same-timestamp fast path.
+func TimerChurn(procs, n int) *sim.Engine {
+	e := sim.NewEngine()
+	for i := 0; i < procs; i++ {
+		seed := uint64(i + 1)
+		e.Spawn("timer", func(p *sim.Proc) {
+			s := seed
+			for j := 0; j < n; j++ {
+				s = s*6364136223846793005 + 1442695040888963407
+				p.Sleep(sim.Time(s%1000 + 1))
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Broadcast is the fan-out workload: `procs` waiters park on one
+// condition and a driver broadcasts n times; every round wakes all
+// waiters at the same timestamp.
+func Broadcast(procs, n int) *sim.Engine {
+	e := sim.NewEngine()
+	c := sim.NewCond(e)
+	round := 0
+	for i := 0; i < procs; i++ {
+		e.Spawn("waiter", func(p *sim.Proc) {
+			for r := 1; r <= n; r++ {
+				c.WaitFor(p, func() bool { return round >= r })
+			}
+		})
+	}
+	e.Spawn("driver", func(p *sim.Proc) {
+		for r := 1; r <= n; r++ {
+			p.Sleep(10)
+			round = r
+			c.Broadcast()
+		}
+	})
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+	return e
+}

@@ -555,20 +555,43 @@ func (r *Result) MaxGBs() float64 {
 // Result's lazy state it is not safe for concurrent first use. When
 // the same (n, bytes) pair appears more than once the first point
 // wins, matching the original linear scan.
+//
+// Points is exported and callers may rewrite entries in place, which
+// a length check alone cannot see. A hit is therefore verified
+// against the stored point and a miss falls back to a linear scan;
+// either inconsistency triggers a rebuild, so At never serves a
+// point that no longer matches its key.
 func (r *Result) At(n int, bytes int64) (Point, bool) {
 	if r.index == nil || r.indexedLen != len(r.Points) {
-		r.index = make(map[pointKey]int, len(r.Points))
-		for i, p := range r.Points {
-			k := pointKey{p.N, p.Bytes}
-			if _, dup := r.index[k]; !dup {
-				r.index[k] = i
-			}
-		}
-		r.indexedLen = len(r.Points)
+		r.rebuildIndex()
 	}
-	i, ok := r.index[pointKey{n, bytes}]
-	if !ok {
+	k := pointKey{n, bytes}
+	if i, ok := r.index[k]; ok {
+		if p := r.Points[i]; p.N == n && p.Bytes == bytes {
+			return p, true
+		}
+		r.rebuildIndex()
+		if i, ok := r.index[k]; ok {
+			return r.Points[i], true
+		}
 		return Point{}, false
 	}
-	return r.Points[i], true
+	for _, p := range r.Points {
+		if p.N == n && p.Bytes == bytes {
+			r.rebuildIndex()
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+func (r *Result) rebuildIndex() {
+	r.index = make(map[pointKey]int, len(r.Points))
+	for i, p := range r.Points {
+		k := pointKey{p.N, p.Bytes}
+		if _, dup := r.index[k]; !dup {
+			r.index[k] = i
+		}
+	}
+	r.indexedLen = len(r.Points)
 }

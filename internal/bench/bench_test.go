@@ -320,6 +320,29 @@ func TestAtIndexTracksAppends(t *testing.T) {
 	}
 }
 
+func TestAtIndexSurvivesInPlaceReplacement(t *testing.T) {
+	r := &Result{Points: []Point{
+		{N: 1, Bytes: 8, GBs: 1},
+		{N: 2, Bytes: 16, GBs: 2},
+	}}
+	if _, ok := r.At(1, 8); !ok {
+		t.Fatal("warm-up lookup failed")
+	}
+	// Rewrite Points without changing the length: the lazy index's
+	// length check cannot see this, so At must self-heal.
+	r.Points[0] = Point{N: 7, Bytes: 64, GBs: 7}
+	r.Points[1] = Point{N: 2, Bytes: 16, GBs: 22}
+	if p, ok := r.At(7, 64); !ok || p.GBs != 7 {
+		t.Fatalf("At(7,64) after replacement = %+v, %v", p, ok)
+	}
+	if p, ok := r.At(2, 16); !ok || p.GBs != 22 {
+		t.Fatalf("At(2,16) served a stale point: %+v, %v", p, ok)
+	}
+	if _, ok := r.At(1, 8); ok {
+		t.Fatal("At(1,8) still hits after its point was replaced")
+	}
+}
+
 func TestSeriesGrouping(t *testing.T) {
 	r := &Result{Transport: "t"}
 	r.Points = []Point{

@@ -1,0 +1,75 @@
+package conformance
+
+import "msgroofline/internal/sim"
+
+// shrinkScript minimizes a failing perturbation schedule. It zeroes
+// spans of decisions ddmin-style — starting with the whole script and
+// halving the span size — keeping any zeroing under which the failure
+// still reproduces, then trims the neutral tail. fails must be
+// deterministic (replaying a script is); budget caps how many replays
+// are spent. The result is the minimal event script in the sense that
+// remaining non-neutral decisions resisted span-removal at every
+// granularity tried within budget.
+//
+// The very first trial zeroes everything: when the failure is driven
+// by fault injection alone, shrinking converges immediately to the
+// empty script ("no schedule perturbation needed").
+func shrinkScript(script []sim.PerturbDecision, budget int, fails func([]sim.PerturbDecision) bool) []sim.PerturbDecision {
+	s := append([]sim.PerturbDecision(nil), script...)
+	evals := 0
+	try := func(c []sim.PerturbDecision) bool {
+		if evals >= budget {
+			return false
+		}
+		evals++
+		return fails(c)
+	}
+	for gran := len(s); gran >= 1; gran /= 2 {
+		for start := 0; start < len(s); start += gran {
+			end := start + gran
+			if end > len(s) {
+				end = len(s)
+			}
+			if allNeutral(s[start:end]) {
+				continue
+			}
+			trial := append([]sim.PerturbDecision(nil), s...)
+			for i := start; i < end; i++ {
+				trial[i] = sim.PerturbDecision{}
+			}
+			if try(trial) {
+				s = trial
+			}
+		}
+	}
+	return trimNeutralTail(s)
+}
+
+func allNeutral(s []sim.PerturbDecision) bool {
+	for _, d := range s {
+		if !d.IsNeutral() {
+			return false
+		}
+	}
+	return true
+}
+
+func trimNeutralTail(s []sim.PerturbDecision) []sim.PerturbDecision {
+	n := len(s)
+	for n > 0 && s[n-1].IsNeutral() {
+		n--
+	}
+	return s[:n]
+}
+
+// activeDecisions counts the non-neutral decisions in a script (the
+// size of the minimal perturbation after shrinking).
+func activeDecisions(s []sim.PerturbDecision) int {
+	n := 0
+	for _, d := range s {
+		if !d.IsNeutral() {
+			n++
+		}
+	}
+	return n
+}

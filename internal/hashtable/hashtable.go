@@ -20,6 +20,7 @@ package hashtable
 import (
 	"fmt"
 
+	"msgroofline/internal/netsim"
 	"msgroofline/internal/sim"
 	"msgroofline/internal/trace"
 )
@@ -43,6 +44,11 @@ type Config struct {
 	// Blocks is the GPU-only concurrency: inserts are spread over
 	// this many thread-block contexts per PE (default 8).
 	Blocks int
+	// Perturb, when non-nil, installs engine schedule fuzzing
+	// (conformance harness only; nil leaves runs byte-identical).
+	Perturb *sim.Perturbation
+	// Faults, when non-nil, installs network fault injection.
+	Faults *netsim.Faults
 }
 
 func (c *Config) fill() error {

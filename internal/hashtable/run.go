@@ -6,10 +6,23 @@ import (
 
 	"msgroofline/internal/machine"
 	"msgroofline/internal/mpi"
+	"msgroofline/internal/netsim"
 	"msgroofline/internal/shmem"
 	"msgroofline/internal/sim"
 	"msgroofline/internal/trace"
 )
+
+// applyChaos installs the conformance harness's opt-in schedule
+// perturbation and network fault injection on a freshly built world.
+// Both fields are nil in normal runs, leaving behavior untouched.
+func (cfg Config) applyChaos(eng *sim.Engine, net *netsim.Network) {
+	if cfg.Perturb != nil {
+		eng.SetPerturbation(cfg.Perturb)
+	}
+	if cfg.Faults != nil {
+		net.SetFaults(cfg.Faults)
+	}
+}
 
 // RunOneSided executes the one-sided CPU design: inserts are CAS on
 // the home slot; collisions claim an overflow slot with fetch-and-add
@@ -24,6 +37,7 @@ func RunOneSided(mcfg *machine.Config, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.applyChaos(c.Engine(), c.World().Inst.Net)
 	win, err := c.NewWin(g.heapBytes())
 	if err != nil {
 		return nil, err
@@ -92,6 +106,7 @@ func RunTwoSided(mcfg *machine.Config, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.applyChaos(c.Engine(), c.World().Inst.Net)
 	rec := trace.New()
 	c.SetSendHook(func(src, dst int, bytes int64, issue, deliver sim.Time) {
 		rec.Record(trace.Event{Src: src, Dst: dst, Bytes: bytes, Issue: issue, Deliver: deliver})
@@ -164,6 +179,7 @@ func RunGPU(mcfg *machine.Config, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.applyChaos(j.Engine(), j.World().Inst.Net)
 	var collisions int64
 	err = j.Launch(func(c *shmem.Ctx) {
 		me := c.MyPE()

@@ -34,7 +34,9 @@ type Params struct {
 
 // G returns the per-byte time in picoseconds (1/bandwidth).
 func (p Params) G() float64 {
-	if p.Bandwidth <= 0 {
+	// Not `<= 0`: NaN bandwidth fails that comparison too and would
+	// propagate NaN into every derived time.
+	if !(p.Bandwidth > 0) {
 		return 0
 	}
 	return float64(sim.Second) / p.Bandwidth
@@ -43,8 +45,10 @@ func (p Params) G() float64 {
 // Validate reports structural problems with the parameter set.
 func (p Params) Validate() error {
 	switch {
-	case p.Bandwidth <= 0:
-		return fmt.Errorf("loggp: bandwidth must be positive, got %v", p.Bandwidth)
+	// NaN fails every comparison, so `<= 0` alone would wave a NaN
+	// bandwidth through and G() would poison every downstream time.
+	case math.IsNaN(p.Bandwidth) || math.IsInf(p.Bandwidth, 0) || p.Bandwidth <= 0:
+		return fmt.Errorf("loggp: bandwidth must be positive and finite, got %v", p.Bandwidth)
 	case p.L < 0 || p.O < 0 || p.Gap < 0:
 		return errors.New("loggp: negative time parameter")
 	case p.OpsPerMsg < 1:

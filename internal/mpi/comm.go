@@ -32,8 +32,15 @@ const (
 )
 
 // internal tags are negative and spaced so user tags (>= 0) never
-// collide with barrier traffic.
-const barrierTagBase = -2
+// collide with barrier traffic. Barrier tags count down from
+// barrierTagBase and wrap before reaching the collective tag range
+// (collTagBase, coll.go); the wrap is safe because a barrier tag is
+// consumed within its own barrier, long before ~16k later barriers
+// could reissue it.
+const (
+	barrierTagBase = -2
+	barrierTagSpan = -collTagBase + barrierTagBase - 64
+)
 
 // Comm is a communicator spanning every rank of a simulated world.
 type Comm struct {
@@ -48,7 +55,16 @@ type Comm struct {
 	// sendHook, when set, observes every user-level two-sided message
 	// at delivery time (internal barrier traffic is excluded).
 	sendHook MsgHook
+	// debugUnordered disables the per-(source, destination) arrival
+	// resequencer, exposing raw (possibly fault-reordered) network
+	// arrival order to the matching queue. Mutation-testing knob for
+	// the conformance harness — never set in real runs.
+	debugUnordered bool
 }
+
+// SetDebugUnordered turns off non-overtaking resequencing so the
+// conformance suite can prove its oracles catch ordering bugs.
+func (c *Comm) SetDebugUnordered(v bool) { c.debugUnordered = v }
 
 // MsgHook observes a message: source, destination, payload size, the
 // time the sender issued it, and the time the last byte was delivered.
@@ -79,6 +95,9 @@ func NewComm(cfg *machine.Config, n int) (*Comm, error) {
 			id:      r,
 			ep:      w.Endpoint(r),
 			arrived: sim.NewCond(w.Eng),
+			sendSeq: make([]uint64, n),
+			recvSeq: make([]uint64, n),
+			ooo:     make([][]*envelope, n),
 		})
 	}
 	return c, nil
@@ -123,6 +142,17 @@ type Rank struct {
 	unexpected []*envelope // delivered but unmatched messages, FIFO
 	posted     []*Request  // posted receives not yet matched, FIFO
 
+	// Non-overtaking resequencer. MPI guarantees messages between one
+	// (source, destination) pair match in send order; the fault-injected
+	// network may deliver them out of order (a retransmitted message is
+	// legally overtaken). sendSeq[d] numbers sends to rank d, recvSeq[s]
+	// is the next sequence admitted from rank s, and ooo[s] buffers
+	// early arrivals until the gap fills. On an in-order network every
+	// arrival is admitted immediately, so default behavior is unchanged.
+	sendSeq []uint64
+	recvSeq []uint64
+	ooo     [][]*envelope
+
 	barrierSeq int
 	collSeq    int
 	sendCount  int64
@@ -132,6 +162,7 @@ type Rank struct {
 // envelope is a delivered two-sided message awaiting a matching recv.
 type envelope struct {
 	src, tag int
+	seq      uint64 // per-(src, dst) send order, for resequencing
 	data     []byte
 	at       sim.Time
 }
@@ -156,6 +187,23 @@ func (r *Rank) Counts() (sent, received int64) {
 	return r.sendCount, r.recvCount
 }
 
+// PendingUnexpected returns the number of delivered-but-unmatched
+// messages queued at this rank (conformance oracles check it drains).
+func (r *Rank) PendingUnexpected() int { return len(r.unexpected) }
+
+// PendingPosted returns the number of posted receives not yet matched.
+func (r *Rank) PendingPosted() int { return len(r.posted) }
+
+// PendingOutOfOrder returns the number of arrivals held back by the
+// non-overtaking resequencer (always zero on an in-order network).
+func (r *Rank) PendingOutOfOrder() int {
+	n := 0
+	for _, q := range r.ooo {
+		n += len(q)
+	}
+	return n
+}
+
 // Barrier synchronizes all ranks with a dissemination barrier built
 // from ceil(log2(P)) rounds of real 1-byte messages, so its cost
 // scales like log(P) x latency exactly as a software MPI_Barrier does.
@@ -169,7 +217,7 @@ func (r *Rank) Barrier() {
 	r.barrierSeq++
 	round := 0
 	for k := 1; k < p; k <<= 1 {
-		tag := barrierTagBase - (seq*64 + round)
+		tag := barrierTagBase - (seq*64+round)%barrierTagSpan
 		dst := (r.id + k) % p
 		src := (r.id - k + p) % p
 		r.Isend(dst, tag, []byte{1})

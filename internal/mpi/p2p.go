@@ -35,6 +35,8 @@ func (r *Rank) Isend(dst, tag int, data []byte) *Request {
 	copy(buf, data)
 	target := r.comm.ranks[dst]
 	src := r.id
+	seq := r.sendSeq[dst]
+	r.sendSeq[dst]++
 	r.sendCount++
 	issue := r.comm.world.Eng.Now()
 	hook := r.comm.sendHook
@@ -42,7 +44,7 @@ func (r *Rank) Isend(dst, tag int, data []byte) *Request {
 		if hook != nil && tag >= 0 {
 			hook(src, dst, int64(len(buf)), issue, at)
 		}
-		target.deliver(&envelope{src: src, tag: tag, data: buf, at: at})
+		target.deliver(&envelope{src: src, tag: tag, seq: seq, data: buf, at: at})
 	})
 	return &Request{owner: r, done: true, Src: src, Tag: tag}
 }
@@ -105,9 +107,45 @@ func (r *Rank) Probe(src, tag int) (gotSrc, gotTag, size int) {
 	return env.src, env.tag, len(env.data)
 }
 
-// deliver runs in engine context when a message reaches this rank:
-// match the oldest posted receive, or queue as unexpected.
+// deliver runs in engine context when a message reaches this rank. It
+// first restores per-(source, destination) send order — a retransmitted
+// message may arrive after a later send from the same source — then
+// admits in-order arrivals to the matching queue. On an in-order
+// network every message is admitted as it arrives.
 func (r *Rank) deliver(env *envelope) {
+	if r.comm.debugUnordered {
+		r.admit(env)
+		return
+	}
+	src := env.src
+	if env.seq != r.recvSeq[src] {
+		r.ooo[src] = append(r.ooo[src], env)
+		return
+	}
+	r.recvSeq[src]++
+	r.admit(env)
+	for next := r.takeOutOfOrder(src); next != nil; next = r.takeOutOfOrder(src) {
+		r.recvSeq[src]++
+		r.admit(next)
+	}
+}
+
+// takeOutOfOrder removes and returns the buffered arrival from src
+// whose sequence is next in line, or nil.
+func (r *Rank) takeOutOfOrder(src int) *envelope {
+	q := r.ooo[src]
+	for i, env := range q {
+		if env.seq == r.recvSeq[src] {
+			r.ooo[src] = append(q[:i], q[i+1:]...)
+			return env
+		}
+	}
+	return nil
+}
+
+// admit runs in engine context once an arrival is in order: match the
+// oldest posted receive, or queue as unexpected.
+func (r *Rank) admit(env *envelope) {
 	for i, req := range r.posted {
 		if req.matches(env) {
 			r.posted = append(r.posted[:i], r.posted[i+1:]...)

@@ -29,6 +29,12 @@ type Network struct {
 	nodeIndex map[string]int
 	adj       map[string][]*channelGroup
 	paths     map[[2]string]*Path
+	// gen counts topology mutations (AddLink); cached Paths record
+	// the generation they were resolved under so stale holders can be
+	// detected (see Path.Stale).
+	gen int
+	// faults, when non-nil, perturbs transfers (see faults.go).
+	faults *faultState
 }
 
 // New returns an empty network.
@@ -46,6 +52,8 @@ func New() *Network {
 // paths cache it to make per-message routing allocation- and
 // hash-free.
 type Path struct {
+	net     *Network
+	gen     int
 	groups  []*channelGroup
 	hops    int
 	baseLat sim.Time
@@ -53,6 +61,12 @@ type Path struct {
 	aggBW   float64
 	minCh   int
 }
+
+// Stale reports whether the topology has changed (AddLink) since this
+// Path was resolved. A stale Path remains safe to use — its links are
+// still part of the fabric — but it no longer reflects the shortest
+// route; holders that care should re-resolve with PathTo.
+func (p *Path) Stale() bool { return p.net != nil && p.net.gen != p.gen }
 
 // Hops returns the number of hops (0 for a same-node path).
 func (p *Path) Hops() int { return p.hops }
@@ -76,8 +90,21 @@ func (p *Path) Channels() int { return p.minCh }
 // Transfer delivers a message of the given size along the path,
 // injected at time at on channel ch, using store-and-forward timing
 // per hop with FIFO link contention. It returns the delivery time of
-// the last byte.
+// the last byte. When fault injection is installed on the owning
+// network, the delivery may additionally suffer a latency spike or
+// drop-and-retransmit rounds (see faults.go).
 func (p *Path) Transfer(at sim.Time, bytes int64, ch int) sim.Time {
+	t := p.transferOnce(at, bytes, ch)
+	if p.net != nil && p.net.faults != nil {
+		t = p.net.faults.apply(t, func(again sim.Time) sim.Time {
+			return p.transferOnce(again, bytes, ch)
+		})
+	}
+	return t
+}
+
+// transferOnce is one fault-free transmission attempt along the path.
+func (p *Path) transferOnce(at sim.Time, bytes int64, ch int) sim.Time {
 	t := at
 	for _, g := range p.groups {
 		l := g.links[((ch%len(g.links))+len(g.links))%len(g.links)]
@@ -89,8 +116,19 @@ func (p *Path) Transfer(at sim.Time, bytes int64, ch int) sim.Time {
 // TransferPacket routes a fixed-occupancy packet (atomic transaction)
 // along the path injected at time at on channel ch: each hop is held
 // for `occupancy` against later packets while the packet itself cuts
-// through at propagation latency.
+// through at propagation latency. Installed fault injection applies to
+// packets exactly as to messages.
 func (p *Path) TransferPacket(at, occupancy sim.Time, ch int) sim.Time {
+	t := p.packetOnce(at, occupancy, ch)
+	if p.net != nil && p.net.faults != nil {
+		t = p.net.faults.apply(t, func(again sim.Time) sim.Time {
+			return p.packetOnce(again, occupancy, ch)
+		})
+	}
+	return t
+}
+
+func (p *Path) packetOnce(at, occupancy sim.Time, ch int) sim.Time {
 	t := at
 	for _, g := range p.groups {
 		l := g.links[((ch%len(g.links))+len(g.links))%len(g.links)]
@@ -173,6 +211,7 @@ func (n *Network) AddLink(a, b string, bandwidth float64, latency sim.Time, chan
 	n.adj[a] = append(n.adj[a], fwd)
 	n.adj[b] = append(n.adj[b], rev)
 	n.paths = make(map[[2]string]*Path)
+	n.gen++
 }
 
 // PathTo resolves (and caches) the shortest (fewest-hop) route from
@@ -191,7 +230,7 @@ func (n *Network) PathTo(src, dst string) (*Path, error) {
 	if p, ok := n.paths[key]; ok {
 		return p, nil
 	}
-	p := &Path{}
+	p := &Path{net: n, gen: n.gen}
 	if src != dst {
 		groups, err := n.bfs(src, dst)
 		if err != nil {

@@ -268,11 +268,26 @@ func (ep *Endpoint) RemoteAtomic(p *sim.Proc, tp machine.TransportParams, dst in
 	var result uint64
 	done := sim.NewCond(eng)
 	fired := false
-	eng.At(svcEnd, func() { result = apply() })
-	eng.At(respond, func() {
-		fired = true
-		done.Broadcast()
-	})
+	if eng.Perturbed() {
+		// Under schedule perturbation the service and response events
+		// carry independent jitter, so the response is scheduled from
+		// inside the service event: the caller must never observe the
+		// response before apply has mutated target memory. (The flight
+		// itself was timed above, so link reservations are unchanged.)
+		eng.At(svcEnd, func() {
+			result = apply()
+			eng.At(respond, func() {
+				fired = true
+				done.Broadcast()
+			})
+		})
+	} else {
+		eng.At(svcEnd, func() { result = apply() })
+		eng.At(respond, func() {
+			fired = true
+			done.Broadcast()
+		})
+	}
 	done.WaitFor(p, func() bool { return fired })
 	return result
 }

@@ -133,6 +133,10 @@ func (pe *PE) SetUint64At(off int, v uint64) {
 // OpStats returns cumulative put and atomic counts for this PE.
 func (pe *PE) OpStats() (puts, atomics int64) { return pe.puts, pe.atomics }
 
+// Outstanding returns the number of this PE's puts still in flight
+// (conformance oracles check it is zero after Quiet and at exit).
+func (pe *PE) Outstanding() int { return pe.outstanding }
+
 // Ctx is an execution context: the kernel main context created by
 // Launch, or a block context created by ForkJoin. All communication
 // is issued through a Ctx so concurrent blocks interleave correctly.

@@ -110,6 +110,12 @@ type Engine struct {
 
 	parkedHead *Proc // intrusive list of cond-parked procs (deadlock reporting)
 	parkedN    int
+
+	// perturb, when non-nil, enables the schedule-fuzzing mode of
+	// perturb.go: every allocation draws (or replays) one decision
+	// that may jitter the firing time and randomize the ordering key.
+	perturb  *Perturbation
+	rngState uint64
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -131,7 +137,10 @@ func (e *Engine) Executed() uint64 { return e.executed }
 func (e *Engine) SetEventLimit(n uint64) { e.maxEv = n }
 
 // alloc takes a slot from the free list (or grows the pool) and stamps
-// it with the scheduling time and the next sequence number.
+// it with the scheduling time and the next sequence number. In
+// perturbation mode the ordering key's high bits come from the
+// per-event decision (randomizing same-timestamp order) and the firing
+// time absorbs the decision's jitter.
 func (e *Engine) alloc(at Time) int32 {
 	var slot int32
 	if n := len(e.free); n > 0 {
@@ -142,9 +151,19 @@ func (e *Engine) alloc(at Time) int32 {
 		slot = int32(len(e.nodes) - 1)
 	}
 	nd := &e.nodes[slot]
-	nd.at = at
-	nd.seq = e.seq
+	idx := e.seq
 	e.seq++
+	key := idx
+	if e.perturb != nil {
+		if idx > 1<<32-1 {
+			panic("sim: perturbation mode supports at most 2^32 events per run")
+		}
+		d := e.perturbDecision(idx)
+		at += d.Jitter
+		key = uint64(d.Prio)<<32 | idx
+	}
+	nd.at = at
+	nd.seq = key
 	return slot
 }
 
@@ -161,10 +180,13 @@ func (e *Engine) freeSlot(slot int32) {
 }
 
 // enqueue routes a freshly allocated slot to the now queue (at == now)
-// or the heap (at > now). Callers clamp at to >= e.now first.
+// or the heap (at > now). Callers clamp at to >= e.now first. In
+// perturbation mode everything goes through the heap: the now-queue
+// ring is FIFO by construction, which is exactly the ordering the
+// fuzzer must be free to break.
 func (e *Engine) enqueue(slot int32) {
 	nd := &e.nodes[slot]
-	if nd.at <= e.now {
+	if nd.at <= e.now && e.perturb == nil {
 		e.nowPush(nowEnt{seq: nd.seq, slot: slot})
 	} else {
 		e.heapPush(heapEnt{at: nd.at, seq: nd.seq, slot: slot})
@@ -190,7 +212,8 @@ func (e *Engine) At(t Time, fn func()) Event {
 	nd := &e.nodes[slot]
 	nd.fn = fn
 	e.enqueue(slot)
-	return Event{eng: e, at: t, slot: slot, gen: nd.gen}
+	// nd.at, not t: perturbation jitter may have moved the event.
+	return Event{eng: e, at: nd.at, slot: slot, gen: nd.gen}
 }
 
 // scheduleWake registers a pre-bound wakeup of p after delay: the

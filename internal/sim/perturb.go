@@ -1,0 +1,109 @@
+package sim
+
+// Schedule perturbation: an opt-in fuzzing mode for the conformance
+// harness (internal/conformance). From a seed, the engine randomly
+// permutes the firing order of same-timestamp events and injects
+// bounded latency jitter into every scheduled event, exposing transport
+// implementations to the adversarial orderings a real network produces.
+// With no perturbation installed (the default) nothing here runs and
+// event dispatch is byte-identical to the committed golden output.
+//
+// Every perturbed event consumes exactly one PerturbDecision. In Record
+// mode the decisions are captured; a captured trace replayed through
+// Script reproduces the run exactly, and a shrunk script (decisions
+// zeroed back to neutral) replays the minimal perturbation that still
+// triggers a failure. Decision k always applies to the k-th allocated
+// event, so a script remains meaningful while it is being shrunk even
+// though later schedule contents change.
+
+// PerturbDecision records how one scheduled event was perturbed. The
+// zero value is neutral: no jitter, FIFO placement among equal
+// timestamps (exactly the unperturbed schedule).
+type PerturbDecision struct {
+	// Jitter is extra delay added to the event's firing time. It is
+	// never negative, so causality (an event scheduled from another)
+	// is preserved.
+	Jitter Time
+	// Prio replaces the high bits of the same-timestamp ordering key:
+	// among events with equal firing times, lower Prio fires first,
+	// ties broken by allocation order. Zero keeps pure FIFO.
+	Prio uint32
+}
+
+// IsNeutral reports whether the decision leaves the event unperturbed.
+func (d PerturbDecision) IsNeutral() bool { return d.Jitter == 0 && d.Prio == 0 }
+
+// Perturbation configures engine schedule fuzzing. Install with
+// Engine.SetPerturbation before any event is scheduled.
+type Perturbation struct {
+	// Seed drives the deterministic decision stream. Equal seeds on
+	// equal programs reproduce runs bit-for-bit.
+	Seed uint64
+	// Reorder randomizes the firing order of same-timestamp events.
+	Reorder bool
+	// MaxJitter, when positive, adds a uniform extra delay in
+	// [0, MaxJitter] to every scheduled event.
+	MaxJitter Time
+	// Script, when non-nil, replays recorded decisions instead of
+	// drawing from the seed: event k gets Script[k], and events past
+	// the end get the neutral decision. Used to replay and shrink
+	// failing schedules.
+	Script []PerturbDecision
+	// Record captures the decision stream; read it back with Trace.
+	Record bool
+
+	trace []PerturbDecision
+}
+
+// Trace returns the decisions recorded during the run (Record mode).
+func (p *Perturbation) Trace() []PerturbDecision { return p.trace }
+
+// SetPerturbation installs the perturbation mode. It must be called on
+// a fresh engine — before any Spawn, Schedule or At — because already
+// queued events would otherwise mix perturbed and unperturbed ordering
+// keys. Passing nil is a no-op on a fresh engine.
+func (e *Engine) SetPerturbation(p *Perturbation) {
+	if e.seq != 0 || e.nowLen != 0 || len(e.heap) != 0 {
+		panic("sim: SetPerturbation on an engine with scheduled events")
+	}
+	e.perturb = p
+	if p != nil {
+		e.rngState = p.Seed
+	}
+}
+
+// Perturbed reports whether a perturbation mode is installed.
+func (e *Engine) Perturbed() bool { return e.perturb != nil }
+
+// rngNext is splitmix64: a tiny, stable PRNG so perturbed schedules
+// never depend on the Go version's math/rand internals.
+func (e *Engine) rngNext() uint64 {
+	e.rngState += 0x9e3779b97f4a7c15
+	z := e.rngState
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// perturbDecision produces the decision for allocation index idx,
+// either replayed from the script or drawn from the seeded stream.
+func (e *Engine) perturbDecision(idx uint64) PerturbDecision {
+	p := e.perturb
+	var d PerturbDecision
+	if p.Script != nil {
+		if int(idx) < len(p.Script) {
+			d = p.Script[idx]
+		}
+	} else {
+		if p.Reorder {
+			d.Prio = uint32(e.rngNext() >> 32)
+		}
+		if p.MaxJitter > 0 {
+			d.Jitter = Time(e.rngNext() % uint64(p.MaxJitter+1))
+		}
+	}
+	if p.Record {
+		p.trace = append(p.trace, d)
+	}
+	return d
+}

@@ -5,10 +5,23 @@ import (
 
 	"msgroofline/internal/machine"
 	"msgroofline/internal/mpi"
+	"msgroofline/internal/netsim"
 	"msgroofline/internal/shmem"
 	"msgroofline/internal/sim"
 	"msgroofline/internal/trace"
 )
+
+// applyChaos installs the conformance harness's opt-in schedule
+// perturbation and network fault injection on a freshly built world.
+// Both fields are nil in normal runs, leaving behavior untouched.
+func (cfg Config) applyChaos(eng *sim.Engine, net *netsim.Network) {
+	if cfg.Perturb != nil {
+		eng.SetPerturbation(cfg.Perturb)
+	}
+	if cfg.Faults != nil {
+		net.SetFaults(cfg.Faults)
+	}
+}
 
 // RunTwoSided executes the two-sided design: MPI_Isend per remote
 // contribution; each rank receives with MPI_Recv(ANY_SOURCE) in a
@@ -22,6 +35,7 @@ func RunTwoSided(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.applyChaos(c.Engine(), c.World().Inst.Net)
 	rec := trace.New()
 	c.SetSendHook(func(src, dst int, bytes int64, issue, deliver sim.Time) {
 		rec.Record(trace.Event{Src: src, Dst: dst, Bytes: bytes, Issue: issue, Deliver: deliver})
@@ -80,6 +94,7 @@ func RunOneSided(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.applyChaos(c.Engine(), c.World().Inst.Net)
 	perRank, slotOf := remoteIncoming(m, cfg.Ranks)
 	stride := 8 * maxSnodeSize(m)
 	dataSizes := make([]int, cfg.Ranks)
@@ -190,6 +205,7 @@ func RunGPU(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.applyChaos(j.Engine(), j.World().Inst.Net)
 	rec := trace.New()
 	j.SetPutHook(func(src, dst int, bytes int64, issue, deliver sim.Time) {
 		rec.Record(trace.Event{Src: src, Dst: dst, Bytes: bytes, Issue: issue, Deliver: deliver})
@@ -265,6 +281,7 @@ func RunNotified(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.applyChaos(c.Engine(), c.World().Inst.Net)
 	perRank, slotOf := remoteIncoming(m, cfg.Ranks)
 	stride := 8 * maxSnodeSize(m)
 	sizes := make([]int, cfg.Ranks)

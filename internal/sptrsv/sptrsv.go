@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"msgroofline/internal/machine"
+	"msgroofline/internal/netsim"
 	"msgroofline/internal/sim"
 	"msgroofline/internal/spmat"
 	"msgroofline/internal/trace"
@@ -55,6 +56,11 @@ type Config struct {
 	// PollCheck overrides DefaultPollCheck when nonzero; the
 	// free-polling ablation passes a negative value to zero it.
 	PollCheck sim.Time
+	// Perturb, when non-nil, installs engine schedule fuzzing
+	// (conformance harness only; nil leaves runs byte-identical).
+	Perturb *sim.Perturbation
+	// Faults, when non-nil, installs network fault injection.
+	Faults *netsim.Faults
 }
 
 func (c *Config) fill() error {

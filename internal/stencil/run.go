@@ -7,10 +7,23 @@ import (
 
 	"msgroofline/internal/machine"
 	"msgroofline/internal/mpi"
+	"msgroofline/internal/netsim"
 	"msgroofline/internal/shmem"
 	"msgroofline/internal/sim"
 	"msgroofline/internal/trace"
 )
+
+// applyChaos installs the conformance harness's opt-in schedule
+// perturbation and network fault injection on a freshly built world.
+// Both fields are nil in normal runs, leaving behavior untouched.
+func (cfg Config) applyChaos(eng *sim.Engine, net *netsim.Network) {
+	if cfg.Perturb != nil {
+		eng.SetPerturbation(cfg.Perturb)
+	}
+	if cfg.Faults != nil {
+		net.SetFaults(cfg.Faults)
+	}
+}
 
 func encodeFloats(v []float64) []byte {
 	out := make([]byte, 8*len(v))
@@ -41,6 +54,7 @@ func RunTwoSided(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.applyChaos(c.Engine(), c.World().Inst.Net)
 	rec := trace.New()
 	c.SetSendHook(func(src, dst int, bytes int64, issue, deliver sim.Time) {
 		rec.Record(trace.Event{Src: src, Dst: dst, Bytes: bytes, Issue: issue, Deliver: deliver})
@@ -113,13 +127,17 @@ func RunOneSided(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Window layout: 4 halo slots, each big enough for the larger
-	// halo direction.
+	cfg.applyChaos(c.Engine(), c.World().Inst.Net)
+	// Window layout: 2 parities x 4 halo slots, each big enough for
+	// the larger halo direction. Iterations alternate parity so a
+	// neighbor's epoch-(i+1) put can never land in the slot this rank
+	// is still reading epoch-i data from (the fence only separates
+	// epochs, not a fast neighbor's next put from a slow reader).
 	slot := 8 * l.nx
 	if 8*l.ny > slot {
 		slot = 8 * l.ny
 	}
-	win, err := c.NewWin(4 * slot)
+	win, err := c.NewWin(2 * 4 * slot)
 	if err != nil {
 		return nil, err
 	}
@@ -137,6 +155,7 @@ func RunOneSided(cfg Config) (*Result, error) {
 		}
 		comp := computeTime(l, cfg)
 		for iter := 0; iter < cfg.Iters; iter++ {
+			parity := iter % 2
 			for dir, nb := range nbrs {
 				if nb < 0 {
 					continue
@@ -147,8 +166,9 @@ func RunOneSided(cfg Config) (*Result, error) {
 				} else {
 					payload = make([]byte, l.haloBytes(dir))
 				}
-				// My dir-halo lands in the neighbor's opposite slot.
-				r.Put(win, nb, opposite(dir)*slot, payload)
+				// My dir-halo lands in the neighbor's opposite slot
+				// of this iteration's parity bank.
+				r.Put(win, nb, (parity*4+opposite(dir))*slot, payload)
 			}
 			r.Fence(win)
 			rec.Sync()
@@ -157,7 +177,8 @@ func RunOneSided(cfg Config) (*Result, error) {
 					if nb < 0 {
 						continue
 					}
-					data := win.Local(r.Rank())[dir*slot : dir*slot+int(l.haloBytes(dir))]
+					off := (parity*4 + dir) * slot
+					data := win.Local(r.Rank())[off : off+int(l.haloBytes(dir))]
 					t.inject(dir, decodeFloats(data))
 				}
 				t.step()
@@ -197,6 +218,7 @@ func RunGPU(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.applyChaos(j.Engine(), j.World().Inst.Net)
 	rec := trace.New()
 	j.SetPutHook(func(src, dst int, bytes int64, issue, deliver sim.Time) {
 		rec.Record(trace.Event{Src: src, Dst: dst, Bytes: bytes, Issue: issue, Deliver: deliver})

@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"msgroofline/internal/machine"
+	"msgroofline/internal/netsim"
 	"msgroofline/internal/sim"
 	"msgroofline/internal/trace"
 )
@@ -42,6 +43,11 @@ type Config struct {
 	// Verify allocates real grids and checks the result against the
 	// serial reference. Use small Grid values with it.
 	Verify bool
+	// Perturb, when non-nil, installs engine schedule fuzzing
+	// (conformance harness only; nil leaves runs byte-identical).
+	Perturb *sim.Perturbation
+	// Faults, when non-nil, installs network fault injection.
+	Faults *netsim.Faults
 }
 
 // Result summarizes one run.

@@ -17,6 +17,7 @@ import (
 
 	"msgroofline/internal/bench"
 	"msgroofline/internal/ccl"
+	"msgroofline/internal/comm"
 	"msgroofline/internal/experiments"
 	"msgroofline/internal/hashtable"
 	"msgroofline/internal/machine"
@@ -150,12 +151,12 @@ func BenchmarkFig4GPUAtomicCAS(b *testing.B) {
 	b.ReportMetric(us, "simCAS_us")
 }
 
-// Fig 5: stencil per-iteration time per variant.
-func benchFig5(b *testing.B, run func(stencil.Config) (*stencil.Result, error), machineName string, px, py int) {
-	cfg := stencil.Config{Machine: mc(b, machineName), Grid: 2048, Iters: 4, PX: px, PY: py}
+// Fig 5: stencil per-iteration time per transport.
+func benchFig5(b *testing.B, kind comm.Kind, machineName string, px, py int) {
+	cfg := stencil.Config{Machine: mc(b, machineName), Transport: kind, Grid: 2048, Iters: 4, PX: px, PY: py}
 	var us float64
 	for i := 0; i < b.N; i++ {
-		res, err := run(cfg)
+		res, err := stencil.Run(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -165,12 +166,12 @@ func benchFig5(b *testing.B, run func(stencil.Config) (*stencil.Result, error), 
 }
 
 func BenchmarkFig5StencilTwoSided(b *testing.B) {
-	benchFig5(b, stencil.RunTwoSided, "perlmutter-cpu", 8, 8)
+	benchFig5(b, comm.TwoSided, "perlmutter-cpu", 8, 8)
 }
 func BenchmarkFig5StencilOneSided(b *testing.B) {
-	benchFig5(b, stencil.RunOneSided, "perlmutter-cpu", 8, 8)
+	benchFig5(b, comm.OneSided, "perlmutter-cpu", 8, 8)
 }
-func BenchmarkFig5StencilGPU(b *testing.B) { benchFig5(b, stencil.RunGPU, "perlmutter-gpu", 2, 2) }
+func BenchmarkFig5StencilGPU(b *testing.B) { benchFig5(b, comm.Shmem, "perlmutter-gpu", 2, 2) }
 
 // Fig 6: workload bounds on the roofline.
 func BenchmarkFig6WorkloadBounds(b *testing.B) {
@@ -190,26 +191,17 @@ func BenchmarkFig7LatencyVsMsgSync(b *testing.B) {
 	}
 }
 
-// Fig 8: SpTRSV solve per variant; reports simulated solve time.
-func benchFig8(b *testing.B, variant string, machineName string, ranks int) {
+// Fig 8: SpTRSV solve per transport; reports simulated solve time.
+func benchFig8(b *testing.B, kind comm.Kind, machineName string, ranks int) {
 	m, err := spmat.Generate(spmat.Params{N: 2400, MeanSnode: 24, Fill: 1.0, Seed: 20230901})
 	if err != nil {
 		b.Fatal(err)
 	}
-	cfg := sptrsv.Config{Machine: mc(b, machineName), Matrix: m, Ranks: ranks}
+	cfg := sptrsv.Config{Machine: mc(b, machineName), Transport: kind, Matrix: m, Ranks: ranks}
 	var us float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		var res *sptrsv.Result
-		var err error
-		switch variant {
-		case "two-sided":
-			res, err = sptrsv.RunTwoSided(cfg)
-		case "one-sided":
-			res, err = sptrsv.RunOneSided(cfg)
-		default:
-			res, err = sptrsv.RunGPU(cfg)
-		}
+		res, err := sptrsv.Run(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -218,29 +210,19 @@ func benchFig8(b *testing.B, variant string, machineName string, ranks int) {
 	b.ReportMetric(us, "simSolve_us")
 }
 
-func BenchmarkFig8SpTRSVTwoSided(b *testing.B) { benchFig8(b, "two-sided", "perlmutter-cpu", 16) }
-func BenchmarkFig8SpTRSVOneSided(b *testing.B) { benchFig8(b, "one-sided", "perlmutter-cpu", 16) }
-func BenchmarkFig8SpTRSVGPU(b *testing.B)      { benchFig8(b, "gpu", "perlmutter-gpu", 4) }
+func BenchmarkFig8SpTRSVTwoSided(b *testing.B) { benchFig8(b, comm.TwoSided, "perlmutter-cpu", 16) }
+func BenchmarkFig8SpTRSVOneSided(b *testing.B) { benchFig8(b, comm.OneSided, "perlmutter-cpu", 16) }
+func BenchmarkFig8SpTRSVGPU(b *testing.B)      { benchFig8(b, comm.Shmem, "perlmutter-gpu", 4) }
 func BenchmarkFig8SpTRSVSummitGPU(b *testing.B) {
-	benchFig8(b, "gpu", "summit-gpu", 4)
+	benchFig8(b, comm.Shmem, "summit-gpu", 4)
 }
 
-// Fig 9: hashtable updates/s per variant.
-func benchFig9(b *testing.B, variant string, machineName string, ranks int) {
-	cfg := hashtable.Config{Ranks: ranks, TotalInserts: 64 * ranks}
-	mcfg := mc(b, machineName)
+// Fig 9: hashtable updates/s per transport.
+func benchFig9(b *testing.B, kind comm.Kind, machineName string, ranks int) {
+	cfg := hashtable.Config{Machine: mc(b, machineName), Transport: kind, Ranks: ranks, TotalInserts: 64 * ranks}
 	var ups float64
 	for i := 0; i < b.N; i++ {
-		var res *hashtable.Result
-		var err error
-		switch variant {
-		case "two-sided":
-			res, err = hashtable.RunTwoSided(mcfg, cfg)
-		case "one-sided":
-			res, err = hashtable.RunOneSided(mcfg, cfg)
-		default:
-			res, err = hashtable.RunGPU(mcfg, cfg)
-		}
+		res, err := hashtable.Run(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -249,11 +231,11 @@ func benchFig9(b *testing.B, variant string, machineName string, ranks int) {
 	b.ReportMetric(ups, "simUpdates/s")
 }
 
-func BenchmarkFig9HashtableTwoSided(b *testing.B) { benchFig9(b, "two-sided", "perlmutter-cpu", 32) }
-func BenchmarkFig9HashtableOneSided(b *testing.B) { benchFig9(b, "one-sided", "perlmutter-cpu", 32) }
-func BenchmarkFig9HashtableGPU(b *testing.B)      { benchFig9(b, "gpu", "perlmutter-gpu", 4) }
+func BenchmarkFig9HashtableTwoSided(b *testing.B) { benchFig9(b, comm.TwoSided, "perlmutter-cpu", 32) }
+func BenchmarkFig9HashtableOneSided(b *testing.B) { benchFig9(b, comm.OneSided, "perlmutter-cpu", 32) }
+func BenchmarkFig9HashtableGPU(b *testing.B)      { benchFig9(b, comm.Shmem, "perlmutter-gpu", 4) }
 func BenchmarkFig9HashtableSummitGPU(b *testing.B) {
-	benchFig9(b, "gpu", "summit-gpu", 6)
+	benchFig9(b, comm.Shmem, "summit-gpu", 6)
 }
 
 // Fig 10: message splitting speedup; reports the 1 MiB 4-way speedup.
@@ -282,11 +264,11 @@ func BenchmarkAblationPollingCost(b *testing.B) {
 	pm := mc(b, "perlmutter-cpu")
 	var overhead float64
 	for i := 0; i < b.N; i++ {
-		with, err := sptrsv.RunOneSided(sptrsv.Config{Machine: pm, Matrix: m, Ranks: 16})
+		with, err := sptrsv.Run(sptrsv.Config{Machine: pm, Transport: comm.OneSided, Matrix: m, Ranks: 16})
 		if err != nil {
 			b.Fatal(err)
 		}
-		free, err := sptrsv.RunOneSided(sptrsv.Config{Machine: pm, Matrix: m, Ranks: 16, PollCheck: -1})
+		free, err := sptrsv.Run(sptrsv.Config{Machine: pm, Transport: comm.OneSided, Matrix: m, Ranks: 16, PollCheck: -1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -379,7 +361,7 @@ func BenchmarkExtensionCCLAllReduce(b *testing.B) {
 // BenchmarkExtensionFrontierGPUSpTRSV runs the solver on the
 // projected ROC_SHMEM platform the paper could not measure.
 func BenchmarkExtensionFrontierGPUSpTRSV(b *testing.B) {
-	benchFig8(b, "gpu", "frontier-gpu", 4)
+	benchFig8(b, comm.Shmem, "frontier-gpu", 4)
 }
 
 // BenchmarkAblationCutThrough quantifies DESIGN.md ablation #1: the

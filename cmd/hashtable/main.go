@@ -11,13 +11,14 @@ import (
 	"os"
 	"strconv"
 
+	"msgroofline/internal/comm"
 	"msgroofline/internal/hashtable"
 	"msgroofline/internal/machine"
 )
 
 func main() {
 	mName := flag.String("machine", "perlmutter-cpu", "machine configuration")
-	variant := flag.String("variant", "one-sided", "one-sided, two-sided, or gpu")
+	variant := flag.String("variant", "one-sided", "one-sided, two-sided, notified, or shmem (alias: gpu)")
 	ranks := flag.Int("ranks", 4, "MPI ranks / GPU PEs")
 	blocks := flag.Int("blocks", 0, "GPU thread-block concurrency (gpu variant)")
 	flag.Parse()
@@ -33,26 +34,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: hashtable [flags] [inserts-per-process]")
 		os.Exit(2)
 	}
-	cfg := hashtable.Config{
-		Ranks:        *ranks,
-		TotalInserts: perProcess * *ranks,
-		Blocks:       *blocks,
-	}
 	mcfg, err := machine.Get(*mName)
 	if err != nil {
 		fatal(err)
 	}
-	var res *hashtable.Result
-	switch *variant {
-	case "one-sided":
-		res, err = hashtable.RunOneSided(mcfg, cfg)
-	case "two-sided":
-		res, err = hashtable.RunTwoSided(mcfg, cfg)
-	case "gpu":
-		res, err = hashtable.RunGPU(mcfg, cfg)
-	default:
-		fatal(fmt.Errorf("unknown variant %q", *variant))
+	kind, err := comm.ParseKind(*variant)
+	if err != nil {
+		fatal(err)
 	}
+	cfg := hashtable.Config{
+		Machine:      mcfg,
+		Transport:    kind,
+		Ranks:        *ranks,
+		TotalInserts: perProcess * *ranks,
+		Blocks:       *blocks,
+	}
+	res, err := hashtable.Run(cfg)
 	if err != nil {
 		fatal(err)
 	}

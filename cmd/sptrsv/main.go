@@ -12,6 +12,7 @@ import (
 	"math"
 	"os"
 
+	"msgroofline/internal/comm"
 	"msgroofline/internal/machine"
 	"msgroofline/internal/spmat"
 	"msgroofline/internal/sptrsv"
@@ -19,7 +20,7 @@ import (
 
 func main() {
 	mName := flag.String("machine", "perlmutter-cpu", "machine configuration")
-	variant := flag.String("variant", "two-sided", "two-sided, one-sided, or gpu")
+	variant := flag.String("variant", "two-sided", "two-sided, one-sided, notified, or shmem (alias: gpu)")
 	ranks := flag.Int("ranks", 4, "MPI ranks / GPU PEs")
 	full := flag.Bool("full", false, "use the full M3D-C1-like factor (default: quick-scale)")
 	seed := flag.Int64("seed", 20230901, "matrix generator seed")
@@ -39,18 +40,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	c := sptrsv.Config{Machine: cfg, Matrix: m, Ranks: *ranks}
-	var res *sptrsv.Result
-	switch *variant {
-	case "two-sided":
-		res, err = sptrsv.RunTwoSided(c)
-	case "one-sided":
-		res, err = sptrsv.RunOneSided(c)
-	case "gpu":
-		res, err = sptrsv.RunGPU(c)
-	default:
-		fatal(fmt.Errorf("unknown variant %q", *variant))
+	kind, err := comm.ParseKind(*variant)
+	if err != nil {
+		fatal(err)
 	}
+	res, err := sptrsv.Run(sptrsv.Config{Machine: cfg, Transport: kind, Matrix: m, Ranks: *ranks})
 	if err != nil {
 		fatal(err)
 	}

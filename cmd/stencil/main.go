@@ -11,13 +11,14 @@ import (
 	"os"
 	"strconv"
 
+	"msgroofline/internal/comm"
 	"msgroofline/internal/machine"
 	"msgroofline/internal/stencil"
 )
 
 func main() {
 	mName := flag.String("machine", "perlmutter-cpu", "machine configuration")
-	variant := flag.String("variant", "two-sided", "two-sided, one-sided, or gpu")
+	variant := flag.String("variant", "two-sided", "two-sided, one-sided, notified, or shmem (alias: gpu)")
 	verify := flag.Bool("verify", false, "carry real grid data and check against the serial reference (small grids)")
 	showMatrix := flag.Bool("matrix", false, "print the halo traffic heat map")
 	flag.Parse()
@@ -37,18 +38,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	c := stencil.Config{Machine: cfg, Grid: grid, Iters: iters, PX: px, PY: py, Verify: *verify}
-	var res *stencil.Result
-	switch *variant {
-	case "two-sided":
-		res, err = stencil.RunTwoSided(c)
-	case "one-sided":
-		res, err = stencil.RunOneSided(c)
-	case "gpu":
-		res, err = stencil.RunGPU(c)
-	default:
-		fatal(fmt.Errorf("unknown variant %q", *variant))
+	kind, err := comm.ParseKind(*variant)
+	if err != nil {
+		fatal(err)
 	}
+	res, err := stencil.Run(stencil.Config{
+		Machine: cfg, Transport: kind,
+		Grid: grid, Iters: iters, PX: px, PY: py, Verify: *verify,
+	})
 	if err != nil {
 		fatal(err)
 	}

@@ -10,6 +10,7 @@ import (
 	"log"
 	"math"
 
+	"msgroofline/internal/comm"
 	"msgroofline/internal/machine"
 	"msgroofline/internal/spmat"
 	"msgroofline/internal/sptrsv"
@@ -48,20 +49,15 @@ func main() {
 	pg, _ := machine.Get("perlmutter-gpu")
 	runs := []struct {
 		name string
-		run  func() (*sptrsv.Result, error)
+		cfg  sptrsv.Config
 	}{
-		{"two-sided, 16 CPU ranks", func() (*sptrsv.Result, error) {
-			return sptrsv.RunTwoSided(sptrsv.Config{Machine: pm, Matrix: m, Ranks: 16})
-		}},
-		{"one-sided, 16 CPU ranks", func() (*sptrsv.Result, error) {
-			return sptrsv.RunOneSided(sptrsv.Config{Machine: pm, Matrix: m, Ranks: 16})
-		}},
-		{"nvshmem,   4 GPUs      ", func() (*sptrsv.Result, error) {
-			return sptrsv.RunGPU(sptrsv.Config{Machine: pg, Matrix: m, Ranks: 4})
-		}},
+		{"two-sided, 16 CPU ranks", sptrsv.Config{Machine: pm, Transport: comm.TwoSided, Matrix: m, Ranks: 16}},
+		{"one-sided, 16 CPU ranks", sptrsv.Config{Machine: pm, Transport: comm.OneSided, Matrix: m, Ranks: 16}},
+		{"notified,  16 CPU ranks", sptrsv.Config{Machine: pm, Transport: comm.Notified, Matrix: m, Ranks: 16}},
+		{"nvshmem,   4 GPUs      ", sptrsv.Config{Machine: pg, Transport: comm.Shmem, Matrix: m, Ranks: 4}},
 	}
 	for _, r := range runs {
-		res, err := r.run()
+		res, err := sptrsv.Run(r.cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"log"
 
+	"msgroofline/internal/comm"
 	"msgroofline/internal/hashtable"
 	"msgroofline/internal/machine"
 )
@@ -20,12 +21,14 @@ func main() {
 	fmt.Println("distributed hashtable, Perlmutter CPU, 128 inserts/process")
 	fmt.Printf("%6s %16s %16s %10s\n", "ranks", "two-sided", "one-sided", "1s/2s")
 	for _, p := range []int{2, 8, 32, 128} {
-		cfg := hashtable.Config{Ranks: p, TotalInserts: 128 * p}
-		two, err := hashtable.RunTwoSided(pm, cfg)
+		cfg := hashtable.Config{Machine: pm, Ranks: p, TotalInserts: 128 * p}
+		cfg.Transport = comm.TwoSided
+		two, err := hashtable.Run(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		one, err := hashtable.RunOneSided(pm, cfg)
+		cfg.Transport = comm.OneSided
+		one, err := hashtable.Run(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -42,7 +45,7 @@ func main() {
 		}
 		fmt.Printf("  %s:\n", g.Title)
 		for p := 1; p <= g.MaxRanks; p++ {
-			res, err := hashtable.RunGPU(g, hashtable.Config{Ranks: p, TotalInserts: 600 * g.MaxRanks})
+			res, err := hashtable.Run(hashtable.Config{Machine: g, Transport: comm.Shmem, Ranks: p, TotalInserts: 600 * g.MaxRanks})
 			if err != nil {
 				log.Fatal(err)
 			}

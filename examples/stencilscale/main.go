@@ -8,6 +8,7 @@ import (
 	"log"
 	"math"
 
+	"msgroofline/internal/comm"
 	"msgroofline/internal/machine"
 	"msgroofline/internal/stencil"
 )
@@ -36,14 +37,17 @@ func main() {
 		fmt.Printf("  %-10s verified (checksum %.9f)\n", name, res.Checksum)
 	}
 	vc := stencil.Config{Machine: pm, Grid: vGrid, Iters: vIters, PX: 2, PY: 2, Verify: true}
-	r, err := stencil.RunTwoSided(vc)
-	check("two-sided", r, err)
-	r, err = stencil.RunOneSided(vc)
-	check("one-sided", r, err)
+	for _, kind := range []comm.Kind{comm.TwoSided, comm.OneSided, comm.Notified} {
+		c := vc
+		c.Transport = kind
+		r, err := stencil.Run(c)
+		check(kind.String(), r, err)
+	}
 	gv := vc
 	gv.Machine = pg
-	r, err = stencil.RunGPU(gv)
-	check("gpu", r, err)
+	gv.Transport = comm.Shmem
+	r, err := stencil.Run(gv)
+	check("shmem", r, err)
 
 	// Strong scaling at paper-like size (cost-model mode).
 	fmt.Println("\nstrong scaling, grid 8192^2, 8 iterations:")
@@ -56,17 +60,19 @@ func main() {
 		px = p / (p / px)
 		py = p / px
 		cfg := stencil.Config{Machine: pm, Grid: 8192, Iters: 8, PX: px, PY: py}
-		two, err := stencil.RunTwoSided(cfg)
+		cfg.Transport = comm.TwoSided
+		two, err := stencil.Run(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		one, err := stencil.RunOneSided(cfg)
+		cfg.Transport = comm.OneSided
+		one, err := stencil.Run(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		gpuCol := "-"
 		if p <= 4 {
-			g, err := stencil.RunGPU(stencil.Config{Machine: pg, Grid: 8192, Iters: 8, PX: 2, PY: 2})
+			g, err := stencil.Run(stencil.Config{Machine: pg, Transport: comm.Shmem, Grid: 8192, Iters: 8, PX: 2, PY: 2})
 			if err != nil {
 				log.Fatal(err)
 			}

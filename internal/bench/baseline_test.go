@@ -30,7 +30,7 @@ func TestFloodIsLooseBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sweep, err := SweepTwoSided(pm, 2, []int{1}, []int64{4096})
+	sweep, err := Sweep(pm, Spec{Transport: TwoSided, Ranks: 2, Ns: []int{1}, Sizes: []int64{4096}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,8 +11,7 @@
 // size) grid, runs every point as an isolated simulation on an
 // internal/sched worker pool (Spec.Jobs wide), and collects points in
 // grid order — so results are byte-identical at any job count. The
-// legacy SweepTwoSided / SweepOneSided / SweepOneSidedStrict /
-// SweepShmemPutSignal entry points are deprecated wrappers over it.
+// callers name the protocol via Spec.Transport.
 package bench
 
 import (
@@ -352,37 +351,6 @@ func measureShmemPutSignal(cfg *machine.Config, npes, n int, b int64) (Point, er
 		return Point{}, fmt.Errorf("bench: shmem %s n=%d B=%d: %w", cfg.Name, n, b, err)
 	}
 	return point(n, b, elapsed), nil
-}
-
-// SweepTwoSided measures a two-sided MPI window sweep sequentially.
-//
-// Deprecated: use Sweep with Spec{Transport: TwoSided}.
-func SweepTwoSided(cfg *machine.Config, ranks int, ns []int, sizes []int64) (*Result, error) {
-	return Sweep(cfg, Spec{Transport: TwoSided, Ranks: ranks, Ns: ns, Sizes: sizes})
-}
-
-// SweepOneSided measures the paper's 4-op windowed one-sided protocol
-// sequentially.
-//
-// Deprecated: use Sweep with Spec{Transport: OneSided}.
-func SweepOneSided(cfg *machine.Config, ranks int, ns []int, sizes []int64) (*Result, error) {
-	return Sweep(cfg, Spec{Transport: OneSided, Ranks: ranks, Ns: ns, Sizes: sizes})
-}
-
-// SweepOneSidedStrict measures the strict per-message 4-op protocol
-// sequentially.
-//
-// Deprecated: use Sweep with Spec{Transport: OneSidedStrict}.
-func SweepOneSidedStrict(cfg *machine.Config, ranks int, ns []int, sizes []int64) (*Result, error) {
-	return Sweep(cfg, Spec{Transport: OneSidedStrict, Ranks: ranks, Ns: ns, Sizes: sizes})
-}
-
-// SweepShmemPutSignal measures GPU-initiated put-with-signal windows
-// sequentially.
-//
-// Deprecated: use Sweep with Spec{Transport: ShmemPutSignal}.
-func SweepShmemPutSignal(cfg *machine.Config, npes int, ns []int, sizes []int64) (*Result, error) {
-	return Sweep(cfg, Spec{Transport: ShmemPutSignal, Ranks: npes, Ns: ns, Sizes: sizes})
 }
 
 // CASLatency measures the round-trip time of a GPU atomic

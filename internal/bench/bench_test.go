@@ -19,7 +19,7 @@ func cfg(t *testing.T, name string) *machine.Config {
 }
 
 func TestTwoSidedSweepShape(t *testing.T) {
-	r, err := SweepTwoSided(cfg(t, "perlmutter-cpu"), 2, []int{1, 16, 256}, []int64{8, 4096, 262144})
+	r, err := Sweep(cfg(t, "perlmutter-cpu"), Spec{Transport: TwoSided, Ranks: 2, Ns: []int{1, 16, 256}, Sizes: []int64{8, 4096, 262144}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestTwoSidedSweepShape(t *testing.T) {
 }
 
 func TestTwoSidedSingleMessageLatency(t *testing.T) {
-	r, err := SweepTwoSided(cfg(t, "perlmutter-cpu"), 2, []int{1}, []int64{8})
+	r, err := Sweep(cfg(t, "perlmutter-cpu"), Spec{Transport: TwoSided, Ranks: 2, Ns: []int{1}, Sizes: []int64{8}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,11 +63,11 @@ func TestOneSidedBeatsTwoSidedAtHighConcurrency(t *testing.T) {
 	pm := cfg(t, "perlmutter-cpu")
 	ns := []int{1, 256}
 	sizes := []int64{64}
-	two, err := SweepTwoSided(pm, 2, ns, sizes)
+	two, err := Sweep(pm, Spec{Transport: TwoSided, Ranks: 2, Ns: ns, Sizes: sizes})
 	if err != nil {
 		t.Fatal(err)
 	}
-	one, err := SweepOneSided(pm, 2, ns, sizes)
+	one, err := Sweep(pm, Spec{Transport: OneSided, Ranks: 2, Ns: ns, Sizes: sizes})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,11 +84,11 @@ func TestSpectrumOneSidedAlwaysWorse(t *testing.T) {
 	sm := cfg(t, "summit-cpu")
 	ns := []int{1, 16, 256}
 	sizes := []int64{8, 4096, 262144}
-	two, err := SweepTwoSided(sm, 2, ns, sizes)
+	two, err := Sweep(sm, Spec{Transport: TwoSided, Ranks: 2, Ns: ns, Sizes: sizes})
 	if err != nil {
 		t.Fatal(err)
 	}
-	one, err := SweepOneSided(sm, 2, ns, sizes)
+	one, err := Sweep(sm, Spec{Transport: OneSided, Ranks: 2, Ns: ns, Sizes: sizes})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestSpectrumOneSidedAlwaysWorse(t *testing.T) {
 func TestStrictProtocolCost(t *testing.T) {
 	// Fig 6b: strict 4-op protocol costs ~5us per message and does
 	// not improve with msg/sync (each message is 2 serialized RTTs).
-	r, err := SweepOneSidedStrict(cfg(t, "perlmutter-cpu"), 2, []int{1, 16}, []int64{400})
+	r, err := Sweep(cfg(t, "perlmutter-cpu"), Spec{Transport: OneSidedStrict, Ranks: 2, Ns: []int{1, 16}, Sizes: []int64{400}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestStrictProtocolCost(t *testing.T) {
 }
 
 func TestShmemSweep(t *testing.T) {
-	r, err := SweepShmemPutSignal(cfg(t, "perlmutter-gpu"), 2, []int{1, 64}, []int64{8, 65536})
+	r, err := Sweep(cfg(t, "perlmutter-gpu"), Spec{Transport: ShmemPutSignal, Ranks: 2, Ns: []int{1, 64}, Sizes: []int64{8, 65536}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestShmemSweep(t *testing.T) {
 		t.Fatalf("GPU 64x64KiB = %.1f GB/s, want substantial", p64.GBs)
 	}
 	// GPU sustained bandwidth beats the CPU counterpart (§II).
-	cpu, err := SweepTwoSided(cfg(t, "perlmutter-cpu"), 2, []int{64}, []int64{65536})
+	cpu, err := Sweep(cfg(t, "perlmutter-cpu"), Spec{Transport: TwoSided, Ranks: 2, Ns: []int{64}, Sizes: []int64{65536}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestSweepSplitFig10(t *testing.T) {
 func TestFitFromMeasuredSweep(t *testing.T) {
 	// The measured two-sided sweep must be well explained by a LogGP
 	// fit (this is how the paper draws its ceilings).
-	r, err := SweepTwoSided(cfg(t, "perlmutter-cpu"), 2, DefaultNs(), DefaultSizes())
+	r, err := Sweep(cfg(t, "perlmutter-cpu"), Spec{Transport: TwoSided, Ranks: 2, Ns: DefaultNs(), Sizes: DefaultSizes()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +277,7 @@ func TestSweepSpecDefaults(t *testing.T) {
 func TestLegacyWrappersMatchSweep(t *testing.T) {
 	// The deprecated entry points are thin shims over Sweep.
 	m := cfg(t, "perlmutter-cpu")
-	legacy, err := SweepTwoSided(m, 2, []int{16}, []int64{4096})
+	legacy, err := Sweep(m, Spec{Transport: TwoSided, Ranks: 2, Ns: []int{16}, Sizes: []int64{4096}})
 	if err != nil {
 		t.Fatal(err)
 	}

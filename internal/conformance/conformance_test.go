@@ -24,7 +24,7 @@ func TestSweep(t *testing.T) {
 	if !rep.Ok() {
 		t.Fatalf("conformance violations:\n%s", rep.String())
 	}
-	if want := 14 * *seedCount; rep.Runs != want {
+	if want := 16 * *seedCount; rep.Runs != want {
 		t.Fatalf("ran %d cases, want %d", rep.Runs, want)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 
+	"msgroofline/internal/comm"
 	"msgroofline/internal/hashtable"
 	"msgroofline/internal/machine"
 	"msgroofline/internal/mpi"
@@ -85,8 +86,19 @@ func testMatrix() *spmat.SupTri {
 	return matrix
 }
 
+// workloadMachine picks the conformance machine for a workload cell:
+// a GPU platform for the shmem stack, a CPU platform (with notified
+// access calibrated) otherwise.
+func workloadMachine(kind comm.Kind, cpu, gpu string) *machine.Config {
+	if kind == comm.Shmem {
+		return mach(gpu)
+	}
+	return mach(cpu)
+}
+
 // allCases enumerates the full conformance matrix: the three paper
-// workloads on every transport they support, plus three micro-kernels
+// workloads on every transport they support (each cell one table row
+// against the unified internal/comm kernel), plus three micro-kernels
 // targeting the semantics the workloads cannot isolate (message
 // ordering with wildcards, collective correctness, put-with-signal
 // visibility and quiet ordering).
@@ -94,6 +106,7 @@ func allCases() []kcase {
 	return []kcase{
 		{"stencil", TwoSided, stencilRun(TwoSided)},
 		{"stencil", OneSided, stencilRun(OneSided)},
+		{"stencil", Notified, stencilRun(Notified)},
 		{"stencil", Shmem, stencilRun(Shmem)},
 		{"sptrsv", TwoSided, sptrsvRun(TwoSided)},
 		{"sptrsv", OneSided, sptrsvRun(OneSided)},
@@ -101,6 +114,7 @@ func allCases() []kcase {
 		{"sptrsv", Notified, sptrsvRun(Notified)},
 		{"hashtable", TwoSided, hashtableRun(TwoSided)},
 		{"hashtable", OneSided, hashtableRun(OneSided)},
+		{"hashtable", Notified, hashtableRun(Notified)},
 		{"hashtable", Shmem, hashtableRun(Shmem)},
 		{"msgorder", TwoSided, msgorderRun},
 		{"coll4", TwoSided, collectivesRun(4)},
@@ -114,23 +128,16 @@ func allCases() []kcase {
 // stepping), so it must be bit-identical under any legal schedule.
 func stencilRun(transport string) func(chaos) (outcome, error) {
 	return func(ch chaos) (outcome, error) {
-		cfg := stencil.Config{
-			Grid: 24, Iters: 3, PX: 2, PY: 2, Verify: true,
+		kind, err := comm.ParseKind(transport)
+		if err != nil {
+			return outcome{}, err
+		}
+		res, err := stencil.Run(stencil.Config{
+			Machine:   workloadMachine(kind, "perlmutter-cpu", "perlmutter-gpu"),
+			Transport: kind,
+			Grid:      24, Iters: 3, PX: 2, PY: 2, Verify: true,
 			Perturb: ch.perturb, Faults: ch.faults,
-		}
-		var res *stencil.Result
-		var err error
-		switch transport {
-		case TwoSided:
-			cfg.Machine = mach("perlmutter-cpu")
-			res, err = stencil.RunTwoSided(cfg)
-		case OneSided:
-			cfg.Machine = mach("perlmutter-cpu")
-			res, err = stencil.RunOneSided(cfg)
-		case Shmem:
-			cfg.Machine = mach("perlmutter-gpu")
-			res, err = stencil.RunGPU(cfg)
-		}
+		})
 		if err != nil {
 			return outcome{}, err
 		}
@@ -143,26 +150,16 @@ func stencilRun(transport string) func(chaos) (outcome, error) {
 // order legally varies, so bits may differ).
 func sptrsvRun(transport string) func(chaos) (outcome, error) {
 	return func(ch chaos) (outcome, error) {
-		cfg := sptrsv.Config{
-			Matrix: testMatrix(), Ranks: 4,
+		kind, err := comm.ParseKind(transport)
+		if err != nil {
+			return outcome{}, err
+		}
+		res, err := sptrsv.Run(sptrsv.Config{
+			Machine:   workloadMachine(kind, "frontier-cpu", "summit-gpu"),
+			Transport: kind,
+			Matrix:    testMatrix(), Ranks: 4,
 			Perturb: ch.perturb, Faults: ch.faults,
-		}
-		var res *sptrsv.Result
-		var err error
-		switch transport {
-		case TwoSided:
-			cfg.Machine = mach("frontier-cpu")
-			res, err = sptrsv.RunTwoSided(cfg)
-		case OneSided:
-			cfg.Machine = mach("frontier-cpu")
-			res, err = sptrsv.RunOneSided(cfg)
-		case Notified:
-			cfg.Machine = mach("frontier-cpu")
-			res, err = sptrsv.RunNotified(cfg)
-		case Shmem:
-			cfg.Machine = mach("summit-gpu")
-			res, err = sptrsv.RunGPU(cfg)
-		}
+		})
 		if err != nil {
 			return outcome{}, err
 		}
@@ -176,20 +173,16 @@ func sptrsvRun(transport string) func(chaos) (outcome, error) {
 // slot always produce k-1 overflows).
 func hashtableRun(transport string) func(chaos) (outcome, error) {
 	return func(ch chaos) (outcome, error) {
-		cfg := hashtable.Config{
-			Ranks: 4, TotalInserts: 400, Blocks: 4,
+		kind, err := comm.ParseKind(transport)
+		if err != nil {
+			return outcome{}, err
+		}
+		res, err := hashtable.Run(hashtable.Config{
+			Machine:   workloadMachine(kind, "perlmutter-cpu", "perlmutter-gpu"),
+			Transport: kind,
+			Ranks:     4, TotalInserts: 400, Blocks: 4,
 			Perturb: ch.perturb, Faults: ch.faults,
-		}
-		var res *hashtable.Result
-		var err error
-		switch transport {
-		case TwoSided:
-			res, err = hashtable.RunTwoSided(mach("perlmutter-cpu"), cfg)
-		case OneSided:
-			res, err = hashtable.RunOneSided(mach("perlmutter-cpu"), cfg)
-		case Shmem:
-			res, err = hashtable.RunGPU(mach("perlmutter-gpu"), cfg)
-		}
+		})
 		if err != nil {
 			return outcome{}, err
 		}

@@ -5,6 +5,7 @@ import (
 
 	"msgroofline/internal/bench"
 	"msgroofline/internal/ccl"
+	"msgroofline/internal/comm"
 	"msgroofline/internal/hashtable"
 	"msgroofline/internal/plot"
 	"msgroofline/internal/shmem"
@@ -104,7 +105,7 @@ func ExtFrontierGPU(s Scale) (*Output, error) {
 		return nil, err
 	}
 	for _, p := range []int{1, 2, 4} {
-		r, err := sptrsv.RunGPU(sptrsv.Config{Machine: cfg, Matrix: mat, Ranks: p})
+		r, err := sptrsv.Run(sptrsv.Config{Machine: cfg, Transport: comm.Shmem, Matrix: mat, Ranks: p})
 		if err != nil {
 			return nil, err
 		}
@@ -115,7 +116,7 @@ func ExtFrontierGPU(s Scale) (*Output, error) {
 		inserts = 20000
 	}
 	for _, p := range []int{1, 4} {
-		r, err := hashtable.RunGPU(cfg, hashtable.Config{Ranks: p, TotalInserts: inserts})
+		r, err := hashtable.Run(hashtable.Config{Machine: cfg, Transport: comm.Shmem, Ranks: p, TotalInserts: inserts})
 		if err != nil {
 			return nil, err
 		}
@@ -157,15 +158,15 @@ func ExtNotified(s Scale) (*Output, error) {
 	}
 	run := func(t *table.Table, mat *spmat.SupTri) (best float64, err error) {
 		for _, p := range ranks {
-			two, err := sptrsv.RunTwoSided(sptrsv.Config{Machine: pm, Matrix: mat, Ranks: p})
+			two, err := sptrsv.Run(sptrsv.Config{Machine: pm, Transport: comm.TwoSided, Matrix: mat, Ranks: p})
 			if err != nil {
 				return 0, err
 			}
-			one, err := sptrsv.RunOneSided(sptrsv.Config{Machine: pm, Matrix: mat, Ranks: p})
+			one, err := sptrsv.Run(sptrsv.Config{Machine: pm, Transport: comm.OneSided, Matrix: mat, Ranks: p})
 			if err != nil {
 				return 0, err
 			}
-			ntf, err := sptrsv.RunNotified(sptrsv.Config{Machine: pm, Matrix: mat, Ranks: p})
+			ntf, err := sptrsv.Run(sptrsv.Config{Machine: pm, Transport: comm.Notified, Matrix: mat, Ranks: p})
 			if err != nil {
 				return 0, err
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"msgroofline/internal/comm"
 	"msgroofline/internal/core"
 	"msgroofline/internal/hashtable"
 	"msgroofline/internal/machine"
@@ -56,7 +57,7 @@ func TableII(s Scale) (*Output, error) {
 		return nil, err
 	}
 
-	st, err := stencil.RunTwoSided(stencil.Config{Machine: pm, Grid: 512, Iters: 3, PX: 4, PY: 4})
+	st, err := stencil.Run(stencil.Config{Machine: pm, Transport: comm.TwoSided, Grid: 512, Iters: 3, PX: 4, PY: 4})
 	if err != nil {
 		return nil, err
 	}
@@ -68,7 +69,7 @@ func TableII(s Scale) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
-	sp, err := sptrsv.RunTwoSided(sptrsv.Config{Machine: pm, Matrix: m, Ranks: 8})
+	sp, err := sptrsv.Run(sptrsv.Config{Machine: pm, Transport: comm.TwoSided, Matrix: m, Ranks: 8})
 	if err != nil {
 		return nil, err
 	}
@@ -76,7 +77,7 @@ func TableII(s Scale) (*Output, error) {
 		fmt.Sprintf("%.1f", sp.Comm.MsgsPerSync),
 		fmt.Sprintf("%.0f (range %d-%d)", sp.Comm.MeanBytes, sp.Comm.MinBytes, sp.Comm.MaxBytes))
 
-	ht, err := hashtable.RunTwoSided(pm, hashtable.Config{Ranks: 8, TotalInserts: 800})
+	ht, err := hashtable.Run(hashtable.Config{Machine: pm, Transport: comm.TwoSided, Ranks: 8, TotalInserts: 800})
 	if err != nil {
 		return nil, err
 	}
@@ -84,7 +85,7 @@ func TableII(s Scale) (*Output, error) {
 		fmt.Sprintf("%.1f", ht.Comm.MsgsPerSync),
 		fmt.Sprintf("%.0f (3 words)", ht.Comm.MeanBytes))
 
-	h1, err := hashtable.RunOneSided(pm, hashtable.Config{Ranks: 8, TotalInserts: 800})
+	h1, err := hashtable.Run(hashtable.Config{Machine: pm, Transport: comm.OneSided, Ranks: 8, TotalInserts: 800})
 	if err != nil {
 		return nil, err
 	}
@@ -113,11 +114,11 @@ func Fig5(s Scale) (*Output, error) {
 	for _, p := range cpuRanks {
 		px, py := stencilDims(p)
 		g := fitGrid(grid, px, py)
-		two, err := stencil.RunTwoSided(stencil.Config{Machine: pm, Grid: g, Iters: iters, PX: px, PY: py})
+		two, err := stencil.Run(stencil.Config{Machine: pm, Transport: comm.TwoSided, Grid: g, Iters: iters, PX: px, PY: py})
 		if err != nil {
 			return nil, err
 		}
-		one, err := stencil.RunOneSided(stencil.Config{Machine: pm, Grid: g, Iters: iters, PX: px, PY: py})
+		one, err := stencil.Run(stencil.Config{Machine: pm, Transport: comm.OneSided, Grid: g, Iters: iters, PX: px, PY: py})
 		if err != nil {
 			return nil, err
 		}
@@ -144,7 +145,7 @@ func Fig5(s Scale) (*Output, error) {
 		gpuSeries[g.name] = ser
 		for _, p := range g.ranks {
 			px, py := stencilDims(p)
-			res, err := stencil.RunGPU(stencil.Config{Machine: cfg, Grid: fitGrid(grid, px, py), Iters: iters, PX: px, PY: py})
+			res, err := stencil.Run(stencil.Config{Machine: cfg, Transport: comm.Shmem, Grid: fitGrid(grid, px, py), Iters: iters, PX: px, PY: py})
 			if err != nil {
 				return nil, err
 			}
@@ -162,7 +163,7 @@ func Fig5(s Scale) (*Output, error) {
 	staged := plot.Series{Name: "perlmutter-gpu host-staged"}
 	for _, p := range []int{1, 2, 4} {
 		px, py := stencilDims(p)
-		res, err := stencil.RunTwoSided(stencil.Config{Machine: pg, Grid: fitGrid(grid, px, py), Iters: iters, PX: px, PY: py})
+		res, err := stencil.Run(stencil.Config{Machine: pg, Transport: comm.TwoSided, Grid: fitGrid(grid, px, py), Iters: iters, PX: px, PY: py})
 		if err != nil {
 			return nil, err
 		}
@@ -200,7 +201,7 @@ func Fig6(s Scale) (*Output, error) {
 	}
 	// Workload placements from traced quick runs.
 	grid, iters, _ := stencilScale(Quick)
-	st, err := stencil.RunTwoSided(stencil.Config{Machine: pm, Grid: grid, Iters: iters, PX: 4, PY: 4})
+	st, err := stencil.Run(stencil.Config{Machine: pm, Transport: comm.TwoSided, Grid: grid, Iters: iters, PX: 4, PY: 4})
 	if err != nil {
 		return nil, err
 	}
@@ -208,11 +209,11 @@ func Fig6(s Scale) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
-	sp, err := sptrsv.RunTwoSided(sptrsv.Config{Machine: pm, Matrix: mat, Ranks: 16})
+	sp, err := sptrsv.Run(sptrsv.Config{Machine: pm, Transport: comm.TwoSided, Matrix: mat, Ranks: 16})
 	if err != nil {
 		return nil, err
 	}
-	ht, err := hashtable.RunTwoSided(pm, hashtable.Config{Ranks: 16, TotalInserts: 1600})
+	ht, err := hashtable.Run(hashtable.Config{Machine: pm, Transport: comm.TwoSided, Ranks: 16, TotalInserts: 1600})
 	if err != nil {
 		return nil, err
 	}
@@ -264,7 +265,7 @@ func Fig7(s Scale) (*Output, error) {
 		return nil, err
 	}
 	grid, iters, _ := stencilScale(Quick)
-	st, err := stencil.RunTwoSided(stencil.Config{Machine: pm, Grid: grid, Iters: iters, PX: 4, PY: 4})
+	st, err := stencil.Run(stencil.Config{Machine: pm, Transport: comm.TwoSided, Grid: grid, Iters: iters, PX: 4, PY: 4})
 	if err != nil {
 		return nil, err
 	}
@@ -272,7 +273,7 @@ func Fig7(s Scale) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
-	sp, err := sptrsv.RunTwoSided(sptrsv.Config{Machine: pm, Matrix: mat, Ranks: 16})
+	sp, err := sptrsv.Run(sptrsv.Config{Machine: pm, Transport: comm.TwoSided, Matrix: mat, Ranks: 16})
 	if err != nil {
 		return nil, err
 	}
@@ -330,11 +331,11 @@ func Fig8(s Scale) (*Output, error) {
 	}
 	var twoT, oneT []float64
 	for _, p := range cpuRanks {
-		two, err := sptrsv.RunTwoSided(sptrsv.Config{Machine: pm, Matrix: mat, Ranks: p})
+		two, err := sptrsv.Run(sptrsv.Config{Machine: pm, Transport: comm.TwoSided, Matrix: mat, Ranks: p})
 		if err != nil {
 			return nil, err
 		}
-		one, err := sptrsv.RunOneSided(sptrsv.Config{Machine: pm, Matrix: mat, Ranks: p})
+		one, err := sptrsv.Run(sptrsv.Config{Machine: pm, Transport: comm.OneSided, Matrix: mat, Ranks: p})
 		if err != nil {
 			return nil, err
 		}
@@ -356,7 +357,7 @@ func Fig8(s Scale) (*Output, error) {
 	}
 	var smT []float64
 	for _, p := range smRanks {
-		r, err := sptrsv.RunTwoSided(sptrsv.Config{Machine: sm, Matrix: mat, Ranks: p})
+		r, err := sptrsv.Run(sptrsv.Config{Machine: sm, Transport: comm.TwoSided, Matrix: mat, Ranks: p})
 		if err != nil {
 			return nil, err
 		}
@@ -378,7 +379,7 @@ func Fig8(s Scale) (*Output, error) {
 		}
 		var ys []float64
 		for _, p := range g.ranks {
-			r, err := sptrsv.RunGPU(sptrsv.Config{Machine: cfg, Matrix: mat, Ranks: p})
+			r, err := sptrsv.Run(sptrsv.Config{Machine: cfg, Transport: comm.Shmem, Matrix: mat, Ranks: p})
 			if err != nil {
 				return nil, err
 			}
@@ -418,12 +419,14 @@ func Fig9(s Scale) (*Output, error) {
 	one := plot.Series{Name: "perlmutter-cpu one-sided"}
 	var crossNote string
 	for _, p := range cpuRanks {
-		cfg := hashtable.Config{Ranks: p, TotalInserts: inserts}
-		t2, err := hashtable.RunTwoSided(pm, cfg)
+		cfg := hashtable.Config{Machine: pm, Ranks: p, TotalInserts: inserts}
+		cfg.Transport = comm.TwoSided
+		t2, err := hashtable.Run(cfg)
 		if err != nil {
 			return nil, err
 		}
-		t1, err := hashtable.RunOneSided(pm, cfg)
+		cfg.Transport = comm.OneSided
+		t1, err := hashtable.Run(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -452,7 +455,7 @@ func Fig9(s Scale) (*Output, error) {
 		}
 		ser := plot.Series{Name: g.name + " nvshmem"}
 		for _, p := range g.ranks {
-			r, err := hashtable.RunGPU(cfg, hashtable.Config{Ranks: p, TotalInserts: gpuInserts})
+			r, err := hashtable.Run(hashtable.Config{Machine: cfg, Transport: comm.Shmem, Ranks: p, TotalInserts: gpuInserts})
 			if err != nil {
 				return nil, err
 			}

@@ -20,6 +20,8 @@ package hashtable
 import (
 	"fmt"
 
+	"msgroofline/internal/comm"
+	"msgroofline/internal/machine"
 	"msgroofline/internal/netsim"
 	"msgroofline/internal/sim"
 	"msgroofline/internal/trace"
@@ -31,8 +33,15 @@ const (
 	offTable    = 8 // table slots, 8 bytes each
 )
 
-// Config describes one hashtable run.
+// Config describes one hashtable run. Machine and Transport are
+// embedded like the other workloads' Configs (the historical Run*
+// shims still accept the machine as a separate argument).
 type Config struct {
+	// Machine is the target platform from the catalog.
+	Machine *machine.Config
+	// Transport selects the communication stack the one kernel runs
+	// on (comm.TwoSided, comm.OneSided, comm.Notified, comm.Shmem).
+	Transport comm.Kind
 	// Ranks is the number of processes (or GPU PEs).
 	Ranks int
 	// TotalInserts across all ranks (the paper uses one million);

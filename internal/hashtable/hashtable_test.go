@@ -3,6 +3,7 @@ package hashtable
 import (
 	"testing"
 
+	"msgroofline/internal/comm"
 	"msgroofline/internal/machine"
 )
 
@@ -15,6 +16,13 @@ func mc(t *testing.T, name string) *machine.Config {
 	return c
 }
 
+// withTransport fills the machine/transport pair into a shared config.
+func withTransport(c Config, m *machine.Config, kind comm.Kind) Config {
+	c.Machine = m
+	c.Transport = kind
+	return c
+}
+
 func TestConfigValidation(t *testing.T) {
 	pm := mc(t, "perlmutter-cpu")
 	bad := []Config{
@@ -24,7 +32,7 @@ func TestConfigValidation(t *testing.T) {
 		{Ranks: 2, TotalInserts: 10, Blocks: -1},
 	}
 	for _, c := range bad {
-		if _, err := RunOneSided(pm, c); err == nil {
+		if _, err := Run(withTransport(c, pm, comm.OneSided)); err == nil {
 			t.Fatalf("config %+v should fail", c)
 		}
 	}
@@ -67,7 +75,7 @@ func TestGeometry(t *testing.T) {
 
 func TestOneSidedCorrectness(t *testing.T) {
 	// RunOneSided verifies the table internally; also check counters.
-	res, err := RunOneSided(mc(t, "perlmutter-cpu"), Config{Ranks: 8, TotalInserts: 2000})
+	res, err := Run(Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.OneSided, Ranks: 8, TotalInserts: 2000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +91,7 @@ func TestOneSidedCorrectness(t *testing.T) {
 }
 
 func TestTwoSidedCorrectness(t *testing.T) {
-	res, err := RunTwoSided(mc(t, "perlmutter-cpu"), Config{Ranks: 4, TotalInserts: 400})
+	res, err := Run(Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.TwoSided, Ranks: 4, TotalInserts: 400})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,23 +113,23 @@ func TestTwoSidedCorrectness(t *testing.T) {
 }
 
 func TestGPUCorrectness(t *testing.T) {
-	res, err := RunGPU(mc(t, "perlmutter-gpu"), Config{Ranks: 4, TotalInserts: 1000, Blocks: 4})
+	res, err := Run(Config{Machine: mc(t, "perlmutter-gpu"), Transport: comm.Shmem, Ranks: 4, TotalInserts: 1000, Blocks: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Atomics < 1000 {
 		t.Fatalf("atomics = %d", res.Atomics)
 	}
-	if _, err := RunGPU(mc(t, "perlmutter-cpu"), Config{Ranks: 2, TotalInserts: 10}); err == nil {
+	if _, err := Run(Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.Shmem, Ranks: 2, TotalInserts: 10}); err == nil {
 		t.Fatal("GPU run on CPU machine should fail")
 	}
 }
 
 func TestSingleRankDegenerate(t *testing.T) {
-	if _, err := RunOneSided(mc(t, "perlmutter-cpu"), Config{Ranks: 1, TotalInserts: 100}); err != nil {
+	if _, err := Run(Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.OneSided, Ranks: 1, TotalInserts: 100}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RunTwoSided(mc(t, "perlmutter-cpu"), Config{Ranks: 1, TotalInserts: 100}); err != nil {
+	if _, err := Run(Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.TwoSided, Ranks: 1, TotalInserts: 100}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -130,11 +138,11 @@ func TestTwoSidedWinsAtTwoRanks(t *testing.T) {
 	// §III-C: at P=2 the two-sided (1.1us per insert) beats the
 	// one-sided CAS (2us).
 	cfg := Config{Ranks: 2, TotalInserts: 500}
-	two, err := RunTwoSided(mc(t, "perlmutter-cpu"), cfg)
+	two, err := Run(withTransport(cfg, mc(t, "perlmutter-cpu"), comm.TwoSided))
 	if err != nil {
 		t.Fatal(err)
 	}
-	one, err := RunOneSided(mc(t, "perlmutter-cpu"), cfg)
+	one, err := Run(withTransport(cfg, mc(t, "perlmutter-cpu"), comm.OneSided))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,11 +156,11 @@ func TestOneSidedWinsAtScale(t *testing.T) {
 	// times faster (5x at 128 in the paper; the broadcast protocol's
 	// P messages/insert is the mechanism).
 	cfg := Config{Ranks: 64, TotalInserts: 4096}
-	two, err := RunTwoSided(mc(t, "perlmutter-cpu"), cfg)
+	two, err := Run(withTransport(cfg, mc(t, "perlmutter-cpu"), comm.TwoSided))
 	if err != nil {
 		t.Fatal(err)
 	}
-	one, err := RunOneSided(mc(t, "perlmutter-cpu"), cfg)
+	one, err := Run(withTransport(cfg, mc(t, "perlmutter-cpu"), comm.OneSided))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,11 +177,11 @@ func TestSummitGPUSocketCrossingHurts(t *testing.T) {
 	// Fig 9: Summit stops scaling past 3 GPUs — cross-socket atomics
 	// pay 1.6us and saturate the shared X-Bus, so doubling the GPUs
 	// does not reduce (and typically increases) the total time.
-	three, err := RunGPU(mc(t, "summit-gpu"), Config{Ranks: 3, TotalInserts: 1200, Blocks: 4})
+	three, err := Run(Config{Machine: mc(t, "summit-gpu"), Transport: comm.Shmem, Ranks: 3, TotalInserts: 1200, Blocks: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	six, err := RunGPU(mc(t, "summit-gpu"), Config{Ranks: 6, TotalInserts: 1200, Blocks: 4})
+	six, err := Run(Config{Machine: mc(t, "summit-gpu"), Transport: comm.Shmem, Ranks: 6, TotalInserts: 1200, Blocks: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,11 +189,11 @@ func TestSummitGPUSocketCrossingHurts(t *testing.T) {
 		t.Fatalf("3 GPUs %v -> 6 GPUs %v: dumbbell topology should stop the scaling", three.Elapsed, six.Elapsed)
 	}
 	// Perlmutter's fully connected NVLink3 keeps scaling 1 -> 4.
-	pm1, err := RunGPU(mc(t, "perlmutter-gpu"), Config{Ranks: 1, TotalInserts: 1200, Blocks: 4})
+	pm1, err := Run(Config{Machine: mc(t, "perlmutter-gpu"), Transport: comm.Shmem, Ranks: 1, TotalInserts: 1200, Blocks: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	pm4, err := RunGPU(mc(t, "perlmutter-gpu"), Config{Ranks: 4, TotalInserts: 1200, Blocks: 4})
+	pm4, err := Run(Config{Machine: mc(t, "perlmutter-gpu"), Transport: comm.Shmem, Ranks: 4, TotalInserts: 1200, Blocks: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,11 +204,11 @@ func TestSummitGPUSocketCrossingHurts(t *testing.T) {
 
 func TestPerlmutterGPUFasterThanSummitGPU(t *testing.T) {
 	// §III-C: Perlmutter CAS 0.8us vs Summit 1us in-island.
-	pm, err := RunGPU(mc(t, "perlmutter-gpu"), Config{Ranks: 3, TotalInserts: 900, Blocks: 4})
+	pm, err := Run(Config{Machine: mc(t, "perlmutter-gpu"), Transport: comm.Shmem, Ranks: 3, TotalInserts: 900, Blocks: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sm, err := RunGPU(mc(t, "summit-gpu"), Config{Ranks: 3, TotalInserts: 900, Blocks: 4})
+	sm, err := Run(Config{Machine: mc(t, "summit-gpu"), Transport: comm.Shmem, Ranks: 3, TotalInserts: 900, Blocks: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

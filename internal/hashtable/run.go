@@ -4,79 +4,9 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"msgroofline/internal/comm"
 	"msgroofline/internal/machine"
-	"msgroofline/internal/mpi"
-	"msgroofline/internal/netsim"
-	"msgroofline/internal/shmem"
-	"msgroofline/internal/sim"
-	"msgroofline/internal/trace"
 )
-
-// applyChaos installs the conformance harness's opt-in schedule
-// perturbation and network fault injection on a freshly built world.
-// Both fields are nil in normal runs, leaving behavior untouched.
-func (cfg Config) applyChaos(eng *sim.Engine, net *netsim.Network) {
-	if cfg.Perturb != nil {
-		eng.SetPerturbation(cfg.Perturb)
-	}
-	if cfg.Faults != nil {
-		net.SetFaults(cfg.Faults)
-	}
-}
-
-// RunOneSided executes the one-sided CPU design: inserts are CAS on
-// the home slot; collisions claim an overflow slot with fetch-and-add
-// and write it with a second CAS; MPI_Win_flush_local after each
-// insert; no synchronization until the end.
-func RunOneSided(mcfg *machine.Config, cfg Config) (*Result, error) {
-	if err := cfg.fill(); err != nil {
-		return nil, err
-	}
-	g := newGeometry(&cfg)
-	c, err := mpi.NewComm(mcfg, cfg.Ranks)
-	if err != nil {
-		return nil, err
-	}
-	cfg.applyChaos(c.Engine(), c.World().Inst.Net)
-	win, err := c.NewWin(g.heapBytes())
-	if err != nil {
-		return nil, err
-	}
-	var collisions int64
-	err = c.Launch(func(r *mpi.Rank) {
-		base := r.Rank() * g.perRank
-		for i := 0; i < g.perRank; i++ {
-			key := keyFor(base + i)
-			hr, slot := g.home(key)
-			old := r.CompareAndSwap(win, hr, offTable+8*slot, 0, key)
-			if old != 0 {
-				collisions++
-				idx := r.FetchAndAdd(win, hr, offNextFree, 1)
-				prev := r.CompareAndSwap(win, hr, g.offOverflow()+8*int(idx), 0, key)
-				if prev != 0 {
-					panic("hashtable: claimed overflow slot already occupied")
-				}
-			}
-			r.FlushLocal(win, hr)
-		}
-	})
-	if err != nil {
-		return nil, fmt.Errorf("hashtable one-sided: %w", err)
-	}
-	shards := make([]shard, cfg.Ranks)
-	for rk := range shards {
-		shards[rk] = shardFromBytes(g, win.Local(rk))
-	}
-	if err := verifyShards(g, shards); err != nil {
-		return nil, err
-	}
-	_, _, atomics := win.OpStats()
-	// One synchronization for the whole insert phase (Table II: 1e6
-	// messages per sync).
-	rec := trace.New()
-	rec.Sync()
-	return finishResult(&cfg, c.Elapsed(), rec.Summarize(c.Elapsed()), atomics, collisions), nil
-}
 
 // triplet encoding for the two-sided protocol: (ID, elem, pos), three
 // 8-byte words (Table II: Words/Msg = 3).
@@ -94,28 +24,40 @@ func decodeTriplet(b []byte) (id int, elem uint64, pos int) {
 		int(binary.LittleEndian.Uint64(b[16:]))
 }
 
-// RunTwoSided executes the paper's two-sided design: every insert is
-// broadcast as a triplet to all other ranks; each rank receives P-1
-// messages per round and applies the triplets addressed to it.
-func RunTwoSided(mcfg *machine.Config, cfg Config) (*Result, error) {
+// Run executes the insert phase once on the transport named by
+// cfg.Transport. The kernel is written once; the paper's two insert
+// designs are selected by the transport's capability:
+//
+//   - atomics-capable transports (one-sided RMA, notified access,
+//     shmem) CAS the home slot, claim an overflow slot with
+//     fetch-and-add on collision, and write it with a second CAS —
+//     per-insert flush_local where the protocol requires it, one
+//     synchronization for the whole phase;
+//   - two-sided MPI has no remote atomics, so every insert is
+//     broadcast as a triplet to all other ranks (BcastPut); each
+//     rank receives P-1 messages per round (CollectPuts) and the
+//     owner applies the update locally.
+func Run(cfg Config) (*Result, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
 	g := newGeometry(&cfg)
-	c, err := mpi.NewComm(mcfg, cfg.Ranks)
-	if err != nil {
-		return nil, err
-	}
-	cfg.applyChaos(c.Engine(), c.World().Inst.Net)
-	rec := trace.New()
-	c.SetSendHook(func(src, dst int, bytes int64, issue, deliver sim.Time) {
-		rec.Record(trace.Event{Src: src, Dst: dst, Bytes: bytes, Issue: issue, Deliver: deliver})
+	t, err := comm.New(comm.Spec{
+		Machine: cfg.Machine, Kind: cfg.Transport, Ranks: cfg.Ranks,
+		SharedBytes: g.heapBytes(),
+		Perturb:     cfg.Perturb, Faults: cfg.Faults,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("hashtable %s: %w", cfg.Transport, err)
+	}
+	useAtomics := t.Caps().Atomics
 	shards := make([]shard, cfg.Ranks)
-	for rk := range shards {
-		shards[rk] = shard{
-			table:    make([]uint64, g.slots),
-			overflow: make([]uint64, g.overflow),
+	if !useAtomics {
+		for rk := range shards {
+			shards[rk] = shard{
+				table:    make([]uint64, g.slots),
+				overflow: make([]uint64, g.overflow),
+			}
 		}
 	}
 	var collisions int64
@@ -129,100 +71,97 @@ func RunTwoSided(mcfg *machine.Config, cfg Config) (*Result, error) {
 		s.overflow[s.nextFree] = elem
 		s.nextFree++
 	}
-	err = c.Launch(func(r *mpi.Rank) {
-		me := r.Rank()
-		p := cfg.Ranks
+	err = t.Launch(func(ep comm.Endpoint) {
+		me := ep.Rank()
 		base := me * g.perRank
-		for i := 0; i < g.perRank; i++ {
-			key := keyFor(base + i)
-			hr, slot := g.home(key)
-			payload := encodeTriplet(hr, key, slot)
-			for d := 0; d < p; d++ {
-				if d != me {
-					r.Isend(d, 0, payload)
+		if !useAtomics {
+			for i := 0; i < g.perRank; i++ {
+				key := keyFor(base + i)
+				hr, slot := g.home(key)
+				ep.BcastPut(encodeTriplet(hr, key, slot))
+				if hr == me {
+					insertLocal(me, key, slot)
+				}
+				for _, tri := range ep.CollectPuts() {
+					id, elem, pos := decodeTriplet(tri)
+					if id == me {
+						insertLocal(me, elem, pos)
+					}
 				}
 			}
-			if hr == me {
-				insertLocal(me, key, slot)
-			}
-			for got := 0; got < p-1; got++ {
-				req := r.Recv(mpi.AnySource, mpi.AnyTag)
-				id, elem, pos := decodeTriplet(req.Data)
-				if id == me {
-					insertLocal(me, elem, pos)
-				}
-			}
-			rec.Sync() // one insert round = one synchronization
+			return
 		}
-	})
-	if err != nil {
-		return nil, fmt.Errorf("hashtable two-sided: %w", err)
-	}
-	if err := verifyShards(g, shards); err != nil {
-		return nil, err
-	}
-	return finishResult(&cfg, c.Elapsed(), rec.Summarize(c.Elapsed()), 0, collisions), nil
-}
-
-// RunGPU executes the one-sided design on a GPU machine with NVSHMEM
-// atomics, spreading each PE's inserts over Blocks concurrent
-// thread-block contexts.
-func RunGPU(mcfg *machine.Config, cfg Config) (*Result, error) {
-	if err := cfg.fill(); err != nil {
-		return nil, err
-	}
-	if mcfg.Kind != machine.GPU {
-		return nil, fmt.Errorf("hashtable: RunGPU needs a GPU machine, got %s", mcfg.Name)
-	}
-	g := newGeometry(&cfg)
-	j, err := shmem.NewJob(mcfg, cfg.Ranks, g.heapBytes())
-	if err != nil {
-		return nil, err
-	}
-	cfg.applyChaos(j.Engine(), j.World().Inst.Net)
-	var collisions int64
-	err = j.Launch(func(c *shmem.Ctx) {
-		me := c.MyPE()
-		base := me * g.perRank
-		blocks := cfg.Blocks
+		blocks := ep.Lanes(cfg.Blocks)
 		if blocks > g.perRank {
 			blocks = g.perRank
 		}
-		if mcfg.GPU != nil {
-			c.Compute(mcfg.GPU.KernelLaunch)
+		if cfg.Machine.Kind == machine.GPU && cfg.Machine.GPU != nil {
+			ep.Compute(cfg.Machine.GPU.KernelLaunch)
 		}
-		c.ForkJoin(blocks, func(blk *shmem.Ctx, bi int) {
+		ep.ForkJoin(blocks, func(lane comm.Endpoint, bi int) {
 			for i := bi; i < g.perRank; i += blocks {
 				key := keyFor(base + i)
 				hr, slot := g.home(key)
-				old := blk.AtomicCompareSwap(hr, offTable+8*slot, 0, key)
+				old := lane.CAS(hr, offTable+8*slot, 0, key)
 				if old != 0 {
 					collisions++
-					idx := blk.AtomicFetchAdd(hr, offNextFree, 1)
-					prev := blk.AtomicCompareSwap(hr, g.offOverflow()+8*int(idx), 0, key)
+					idx := lane.FetchAdd(hr, offNextFree, 1)
+					prev := lane.CAS(hr, g.offOverflow()+8*int(idx), 0, key)
 					if prev != 0 {
 						panic("hashtable: claimed overflow slot already occupied")
 					}
 				}
+				lane.FlushLocal(hr)
 			}
 		})
 	})
 	if err != nil {
-		return nil, fmt.Errorf("hashtable gpu: %w", err)
+		return nil, fmt.Errorf("hashtable %s: %w", cfg.Transport, err)
 	}
-	shards := make([]shard, cfg.Ranks)
 	var atomics int64
-	for pe := range shards {
-		shards[pe] = shardFromBytes(g, j.PE(pe).Heap())
-		_, a := j.PE(pe).OpStats()
-		atomics += a
+	if useAtomics {
+		for rk := range shards {
+			shards[rk] = shardFromBytes(g, t.SharedBytes(rk))
+		}
+		atomics = t.AtomicCount()
 	}
 	if err := verifyShards(g, shards); err != nil {
 		return nil, err
 	}
-	rec := trace.New()
-	rec.Sync()
-	return finishResult(&cfg, j.Elapsed(), rec.Summarize(j.Elapsed()), atomics, collisions), nil
+	rec := t.Recorder()
+	if useAtomics {
+		// One synchronization for the whole insert phase (Table II:
+		// 1e6 messages per sync).
+		rec.Sync()
+	}
+	return finishResult(&cfg, t.Elapsed(), rec.Summarize(t.Elapsed()), atomics, collisions), nil
+}
+
+// RunOneSided executes the one-sided CPU design.
+//
+// Deprecated: set Config.Machine and Config.Transport and call Run.
+func RunOneSided(mcfg *machine.Config, cfg Config) (*Result, error) {
+	cfg.Machine = mcfg
+	cfg.Transport = comm.OneSided
+	return Run(cfg)
+}
+
+// RunTwoSided executes the paper's broadcast design.
+//
+// Deprecated: set Config.Machine and Config.Transport and call Run.
+func RunTwoSided(mcfg *machine.Config, cfg Config) (*Result, error) {
+	cfg.Machine = mcfg
+	cfg.Transport = comm.TwoSided
+	return Run(cfg)
+}
+
+// RunGPU executes the NVSHMEM design.
+//
+// Deprecated: set Config.Machine and Config.Transport and call Run.
+func RunGPU(mcfg *machine.Config, cfg Config) (*Result, error) {
+	cfg.Machine = mcfg
+	cfg.Transport = comm.Shmem
+	return Run(cfg)
 }
 
 func shardFromBytes(g geometry, heap []byte) shard {

@@ -3,234 +3,59 @@ package sptrsv
 import (
 	"fmt"
 
+	"msgroofline/internal/comm"
 	"msgroofline/internal/machine"
-	"msgroofline/internal/mpi"
-	"msgroofline/internal/netsim"
-	"msgroofline/internal/shmem"
-	"msgroofline/internal/sim"
-	"msgroofline/internal/trace"
 )
 
-// applyChaos installs the conformance harness's opt-in schedule
-// perturbation and network fault injection on a freshly built world.
-// Both fields are nil in normal runs, leaving behavior untouched.
-func (cfg Config) applyChaos(eng *sim.Engine, net *netsim.Network) {
-	if cfg.Perturb != nil {
-		eng.SetPerturbation(cfg.Perturb)
-	}
-	if cfg.Faults != nil {
-		net.SetFaults(cfg.Faults)
-	}
-}
-
-// RunTwoSided executes the two-sided design: MPI_Isend per remote
-// contribution; each rank receives with MPI_Recv(ANY_SOURCE) in a
-// loop sized by its expected message count.
-func RunTwoSided(cfg Config) (*Result, error) {
+// Run executes the solve once on the transport named by
+// cfg.Transport. The kernel is transport-agnostic: solving a
+// supernode streams one contribution per remote dependent via
+// Deliver into the receiver's precomputed edge slot, and the receive
+// loop blocks on WaitAnySlot until its expected count is met. The
+// transport realizes delivery with its native protocol — eager Isend
+// + Recv(ANY_SOURCE), the strict 4-op put/flush/put/flush plus
+// Listing-1 polling, fused notified access, or nvshmem
+// put-with-signal + wait_until_any.
+func Run(cfg Config) (*Result, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
-	}
-	m := cfg.Matrix
-	c, err := mpi.NewComm(cfg.Machine, cfg.Ranks)
-	if err != nil {
-		return nil, err
-	}
-	cfg.applyChaos(c.Engine(), c.World().Inst.Net)
-	rec := trace.New()
-	c.SetSendHook(func(src, dst int, bytes int64, issue, deliver sim.Time) {
-		rec.Record(trace.Event{Src: src, Dst: dst, Bytes: bytes, Issue: issue, Deliver: deliver})
-	})
-	perRank, _ := remoteIncoming(m, cfg.Ranks)
-	x := make([]float64, m.N)
-	err = c.Launch(func(r *mpi.Rank) {
-		st := newSolveState(&cfg, r.Rank(), x, cfg.CPUFlopRate)
-		expected := len(perRank[r.Rank()])
-
-		// process solves j and recursively drains local chains;
-		// remote contributions are sent as they are produced.
-		var process func(j int)
-		process = func(j int) {
-			ups, flops := st.solveLocal(j)
-			r.Compute(st.flopTime(flops))
-			for _, u := range ups {
-				if u.dst == r.Rank() {
-					if st.accumulate(u.child, u.payload) {
-						process(u.child)
-					}
-					continue
-				}
-				r.Isend(u.dst, u.child, encodeFloats(u.payload))
-			}
-		}
-		for _, j := range st.readyRoots() {
-			process(j)
-		}
-		for got := 0; got < expected; got++ {
-			req := r.Recv(mpi.AnySource, mpi.AnyTag)
-			rec.Sync() // one message per synchronization (Table II)
-			child := req.Tag
-			if st.accumulate(child, decodeFloats(req.Data)) {
-				process(child)
-			}
-		}
-	})
-	if err != nil {
-		return nil, fmt.Errorf("sptrsv two-sided: %w", err)
-	}
-	return &Result{Elapsed: c.Elapsed(), Comm: rec.Summarize(c.Elapsed()),
-		Matrix: rec.Matrix(cfg.Ranks), X: x, Ranks: cfg.Ranks}, nil
-}
-
-// RunOneSided executes the one-sided design: the strict 4-op protocol
-// per contribution (Put data, Win_flush, Put signal, Win_flush) and
-// the Listing-1 receiver acknowledgment loop, whose scan over the
-// remaining signal slots is charged PollCheck per slot per wakeup.
-func RunOneSided(cfg Config) (*Result, error) {
-	if err := cfg.fill(); err != nil {
-		return nil, err
-	}
-	m := cfg.Matrix
-	c, err := mpi.NewComm(cfg.Machine, cfg.Ranks)
-	if err != nil {
-		return nil, err
-	}
-	cfg.applyChaos(c.Engine(), c.World().Inst.Net)
-	perRank, slotOf := remoteIncoming(m, cfg.Ranks)
-	stride := 8 * maxSnodeSize(m)
-	dataSizes := make([]int, cfg.Ranks)
-	sigSizes := make([]int, cfg.Ranks)
-	for r := range dataSizes {
-		dataSizes[r] = stride * len(perRank[r])
-		sigSizes[r] = 8 * len(perRank[r])
-	}
-	dataWin, err := c.NewWinSizes(dataSizes)
-	if err != nil {
-		return nil, err
-	}
-	sigWin, err := c.NewWinSizes(sigSizes)
-	if err != nil {
-		return nil, err
-	}
-	rec := trace.New()
-	dataWin.SetHook(func(src, dst int, bytes int64, issue, deliver sim.Time) {
-		rec.Record(trace.Event{Src: src, Dst: dst, Bytes: bytes, Issue: issue, Deliver: deliver})
-	})
-	one := []byte{1, 0, 0, 0, 0, 0, 0, 0}
-	x := make([]float64, m.N)
-	err = c.Launch(func(r *mpi.Rank) {
-		st := newSolveState(&cfg, r.Rank(), x, cfg.CPUFlopRate)
-		edges := perRank[r.Rank()]
-		expected := len(edges)
-		mask := make([]bool, expected)
-
-		var process func(j int)
-		process = func(j int) {
-			ups, flops := st.solveLocal(j)
-			r.Compute(st.flopTime(flops))
-			for _, u := range ups {
-				if u.dst == r.Rank() {
-					if st.accumulate(u.child, u.payload) {
-						process(u.child)
-					}
-					continue
-				}
-				slot := slotOf[edge{child: u.child, parent: j}]
-				r.Put(dataWin, u.dst, slot*stride, encodeFloats(u.payload))
-				r.Flush(dataWin, u.dst)
-				r.Put(sigWin, u.dst, slot*8, one)
-				r.Flush(sigWin, u.dst)
-			}
-		}
-		for _, j := range st.readyRoots() {
-			process(j)
-		}
-		// Listing 1: loop over the signal array masking out arrivals.
-		for got := 0; got < expected; {
-			found := -1
-			sigWin.TargetSignal(r.Rank()).WaitFor(r.Proc(), func() bool {
-				for i := range edges {
-					if mask[i] {
-						continue
-					}
-					if sigWin.Uint64At(r.Rank(), 8*i) == 1 {
-						found = i
-						return true
-					}
-				}
-				return false
-			})
-			// Charge the scan over the remaining (unmasked) slots.
-			if cfg.PollCheck > 0 {
-				r.Compute(cfg.PollCheck * sim.Time(expected-got))
-			}
-			mask[found] = true
-			got++
-			rec.Sync()
-			e := edges[found]
-			sz := m.Snodes[e.child].Size()
-			u := decodeFloats(dataWin.Local(r.Rank())[found*stride : found*stride+8*sz])
-			if st.accumulate(e.child, u) {
-				process(e.child)
-			}
-		}
-	})
-	if err != nil {
-		return nil, fmt.Errorf("sptrsv one-sided: %w", err)
-	}
-	return &Result{Elapsed: c.Elapsed(), Comm: rec.Summarize(c.Elapsed()),
-		Matrix: rec.Matrix(cfg.Ranks), X: x, Ranks: cfg.Ranks}, nil
-}
-
-// RunGPU executes the GPU design: nvshmem_double_put_signal_nbi per
-// contribution and nvshmem_wait_until_any in a receive loop sized by
-// the expected message count.
-func RunGPU(cfg Config) (*Result, error) {
-	if err := cfg.fill(); err != nil {
-		return nil, err
-	}
-	if cfg.Machine.Kind != machine.GPU {
-		return nil, fmt.Errorf("sptrsv: RunGPU needs a GPU machine, got %s", cfg.Machine.Name)
 	}
 	m := cfg.Matrix
 	perRank, slotOf := remoteIncoming(m, cfg.Ranks)
 	stride := 8 * maxSnodeSize(m)
-	maxEdges := 0
-	for _, e := range perRank {
-		if len(e) > maxEdges {
-			maxEdges = len(e)
-		}
+	counts := make([]int, cfg.Ranks)
+	for r := range counts {
+		counts[r] = len(perRank[r])
 	}
-	heap := stride*maxEdges + 8*maxEdges + 64
-	j, err := shmem.NewJob(cfg.Machine, cfg.Ranks, heap)
-	if err != nil {
-		return nil, err
-	}
-	cfg.applyChaos(j.Engine(), j.World().Inst.Net)
-	rec := trace.New()
-	j.SetPutHook(func(src, dst int, bytes int64, issue, deliver sim.Time) {
-		rec.Record(trace.Event{Src: src, Dst: dst, Bytes: bytes, Issue: issue, Deliver: deliver})
+	t, err := comm.New(comm.Spec{
+		Machine: cfg.Machine, Kind: cfg.Transport, Ranks: cfg.Ranks,
+		StreamSlots: counts, SlotBytes: stride, PollCheck: cfg.PollCheck,
+		Perturb: cfg.Perturb, Faults: cfg.Faults,
 	})
-	sigBase := stride * maxEdges
-	rate := cfg.CPUFlopRate * cfg.GPUSparseScale
+	if err != nil {
+		return nil, fmt.Errorf("sptrsv %s: %w", cfg.Transport, err)
+	}
+	rate := cfg.CPUFlopRate
+	if cfg.Machine.Kind == machine.GPU {
+		rate = cfg.CPUFlopRate * cfg.GPUSparseScale
+	}
 	x := make([]float64, m.N)
-	err = j.Launch(func(c *shmem.Ctx) {
-		me := c.MyPE()
+	err = t.Launch(func(ep comm.Endpoint) {
+		me := ep.Rank()
 		st := newSolveState(&cfg, me, x, rate)
 		edges := perRank[me]
 		expected := len(edges)
-		sigs := make([]int, expected)
-		for i := range sigs {
-			sigs[i] = sigBase + 8*i
+		// One kernel launch hosts the whole persistent GPU solve.
+		if cfg.Machine.Kind == machine.GPU && cfg.Machine.GPU != nil {
+			ep.Compute(cfg.Machine.GPU.KernelLaunch)
 		}
-		mask := make([]bool, expected)
-		// One kernel launch hosts the whole persistent solve.
-		if cfg.Machine.GPU != nil {
-			c.Compute(cfg.Machine.GPU.KernelLaunch)
-		}
-		var process func(sn int)
-		process = func(sn int) {
-			ups, flops := st.solveLocal(sn)
-			c.Compute(st.flopTime(flops))
+
+		// process solves j and recursively drains local chains;
+		// remote contributions are delivered as they are produced.
+		var process func(j int)
+		process = func(j int) {
+			ups, flops := st.solveLocal(j)
+			ep.Compute(st.flopTime(flops))
 			for _, u := range ups {
 				if u.dst == me {
 					if st.accumulate(u.child, u.payload) {
@@ -238,114 +63,58 @@ func RunGPU(cfg Config) (*Result, error) {
 					}
 					continue
 				}
-				slot := slotOf[edge{child: u.child, parent: sn}]
-				c.PutSignalNBI(u.dst, slot*stride, encodeFloats(u.payload), sigBase+8*slot, 1)
-			}
-		}
-		for _, sn := range st.readyRoots() {
-			process(sn)
-		}
-		for got := 0; got < expected; got++ {
-			i := c.WaitUntilAny(sigs, mask, 1)
-			mask[i] = true
-			rec.Sync()
-			e := edges[i]
-			sz := m.Snodes[e.child].Size()
-			u := decodeFloats(c.PE().Heap()[i*stride : i*stride+8*sz])
-			if st.accumulate(e.child, u) {
-				process(e.child)
-			}
-		}
-		c.Quiet()
-	})
-	if err != nil {
-		return nil, fmt.Errorf("sptrsv gpu: %w", err)
-	}
-	return &Result{Elapsed: j.Elapsed(), Comm: rec.Summarize(j.Elapsed()),
-		Matrix: rec.Matrix(cfg.Ranks), X: x, Ranks: cfg.Ranks}, nil
-}
-
-// RunNotified executes the extension design of the paper's
-// conclusion: one-sided with hardware put-with-signal (notified
-// access). Each contribution is ONE fused operation and one flight —
-// no second flush round trip, no Listing-1 polling — so it should
-// beat two-sided on the latency-bound solve ("one-sided MPI can
-// easily outperform the two-sided MPI with hardware-level support for
-// put-with-signal", §V; Liu et al. report 1.5x with foMPI).
-func RunNotified(cfg Config) (*Result, error) {
-	if err := cfg.fill(); err != nil {
-		return nil, err
-	}
-	m := cfg.Matrix
-	c, err := mpi.NewComm(cfg.Machine, cfg.Ranks)
-	if err != nil {
-		return nil, err
-	}
-	cfg.applyChaos(c.Engine(), c.World().Inst.Net)
-	perRank, slotOf := remoteIncoming(m, cfg.Ranks)
-	stride := 8 * maxSnodeSize(m)
-	sizes := make([]int, cfg.Ranks)
-	for r := range sizes {
-		// Data slots followed by notification slots in one window.
-		sizes[r] = (stride + 8) * len(perRank[r])
-	}
-	win, err := c.NewWinSizes(sizes)
-	if err != nil {
-		return nil, err
-	}
-	rec := trace.New()
-	win.SetHook(func(src, dst int, bytes int64, issue, deliver sim.Time) {
-		rec.Record(trace.Event{Src: src, Dst: dst, Bytes: bytes, Issue: issue, Deliver: deliver})
-	})
-	x := make([]float64, m.N)
-	sigBase := func(edges int) int { return stride * edges }
-	err = c.Launch(func(r *mpi.Rank) {
-		st := newSolveState(&cfg, r.Rank(), x, cfg.CPUFlopRate)
-		edges := perRank[r.Rank()]
-		expected := len(edges)
-		base := sigBase(expected)
-		sigs := make([]int, expected)
-		for i := range sigs {
-			sigs[i] = base + 8*i
-		}
-		mask := make([]bool, expected)
-
-		var process func(j int)
-		process = func(j int) {
-			ups, flops := st.solveLocal(j)
-			r.Compute(st.flopTime(flops))
-			for _, u := range ups {
-				if u.dst == r.Rank() {
-					if st.accumulate(u.child, u.payload) {
-						process(u.child)
-					}
-					continue
-				}
-				slot := slotOf[edge{child: u.child, parent: j}]
-				dstBase := sigBase(len(perRank[u.dst]))
-				if err := r.PutNotify(win, u.dst, slot*stride, encodeFloats(u.payload), dstBase+8*slot, 1); err != nil {
-					panic(err)
-				}
+				ep.Deliver(u.dst, slotOf[edge{child: u.child, parent: j}], encodeFloats(u.payload))
 			}
 		}
 		for _, j := range st.readyRoots() {
 			process(j)
 		}
 		for got := 0; got < expected; got++ {
-			i := r.WaitNotifyAny(win, sigs, mask, 1)
-			mask[i] = true
-			rec.Sync()
-			e := edges[i]
+			slot, data := ep.WaitAnySlot()
+			e := edges[slot]
 			sz := m.Snodes[e.child].Size()
-			u := decodeFloats(win.Local(r.Rank())[i*stride : i*stride+8*sz])
-			if st.accumulate(e.child, u) {
+			if st.accumulate(e.child, decodeFloats(data[:8*sz])) {
 				process(e.child)
 			}
 		}
+		ep.Quiet()
 	})
 	if err != nil {
-		return nil, fmt.Errorf("sptrsv notified: %w", err)
+		return nil, fmt.Errorf("sptrsv %s: %w", cfg.Transport, err)
 	}
-	return &Result{Elapsed: c.Elapsed(), Comm: rec.Summarize(c.Elapsed()),
+	rec := t.Recorder()
+	return &Result{Elapsed: t.Elapsed(), Comm: rec.Summarize(t.Elapsed()),
 		Matrix: rec.Matrix(cfg.Ranks), X: x, Ranks: cfg.Ranks}, nil
+}
+
+// RunTwoSided executes the two-sided design.
+//
+// Deprecated: set Config.Transport and call Run.
+func RunTwoSided(cfg Config) (*Result, error) {
+	cfg.Transport = comm.TwoSided
+	return Run(cfg)
+}
+
+// RunOneSided executes the strict one-sided design.
+//
+// Deprecated: set Config.Transport and call Run.
+func RunOneSided(cfg Config) (*Result, error) {
+	cfg.Transport = comm.OneSided
+	return Run(cfg)
+}
+
+// RunGPU executes the NVSHMEM design.
+//
+// Deprecated: set Config.Transport and call Run.
+func RunGPU(cfg Config) (*Result, error) {
+	cfg.Transport = comm.Shmem
+	return Run(cfg)
+}
+
+// RunNotified executes the notified-access extension design.
+//
+// Deprecated: set Config.Transport and call Run.
+func RunNotified(cfg Config) (*Result, error) {
+	cfg.Transport = comm.Notified
+	return Run(cfg)
 }

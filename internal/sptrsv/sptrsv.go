@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 
+	"msgroofline/internal/comm"
 	"msgroofline/internal/machine"
 	"msgroofline/internal/netsim"
 	"msgroofline/internal/sim"
@@ -46,7 +47,10 @@ const (
 // Config describes one distributed solve.
 type Config struct {
 	Machine *machine.Config
-	Matrix  *spmat.SupTri
+	// Transport selects the communication stack the one kernel runs
+	// on (comm.TwoSided, comm.OneSided, comm.Notified, comm.Shmem).
+	Transport comm.Kind
+	Matrix    *spmat.SupTri
 	// Ranks is the number of MPI ranks or GPU PEs.
 	Ranks int
 	// CPUFlopRate overrides DefaultCPUFlopRate when nonzero.

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"msgroofline/internal/comm"
 	"msgroofline/internal/machine"
 	"msgroofline/internal/spmat"
 )
@@ -44,13 +45,13 @@ func verify(t *testing.T, m *spmat.SupTri, x []float64) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	if _, err := RunTwoSided(Config{}); err == nil {
+	if _, err := Run(Config{}); err == nil {
 		t.Fatal("nil config should fail")
 	}
-	if _, err := RunTwoSided(Config{Machine: mc(t, "perlmutter-cpu"), Matrix: testMatrix(t), Ranks: 0}); err == nil {
+	if _, err := Run(Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.TwoSided, Matrix: testMatrix(t), Ranks: 0}); err == nil {
 		t.Fatal("0 ranks should fail")
 	}
-	if _, err := RunGPU(Config{Machine: mc(t, "perlmutter-cpu"), Matrix: testMatrix(t), Ranks: 2}); err == nil {
+	if _, err := Run(Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.Shmem, Matrix: testMatrix(t), Ranks: 2}); err == nil {
 		t.Fatal("RunGPU on CPU machine should fail")
 	}
 }
@@ -84,7 +85,7 @@ func TestRemoteIncomingDeterministic(t *testing.T) {
 
 func TestTwoSidedSolveCorrectSingleRank(t *testing.T) {
 	m := testMatrix(t)
-	res, err := RunTwoSided(Config{Machine: mc(t, "perlmutter-cpu"), Matrix: m, Ranks: 1})
+	res, err := Run(Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.TwoSided, Matrix: m, Ranks: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestTwoSidedSolveCorrectSingleRank(t *testing.T) {
 func TestTwoSidedSolveCorrectParallel(t *testing.T) {
 	m := testMatrix(t)
 	for _, p := range []int{2, 4, 8} {
-		res, err := RunTwoSided(Config{Machine: mc(t, "perlmutter-cpu"), Matrix: m, Ranks: p})
+		res, err := Run(Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.TwoSided, Matrix: m, Ranks: p})
 		if err != nil {
 			t.Fatalf("P=%d: %v", p, err)
 		}
@@ -111,7 +112,7 @@ func TestTwoSidedSolveCorrectParallel(t *testing.T) {
 func TestOneSidedSolveCorrect(t *testing.T) {
 	m := testMatrix(t)
 	for _, p := range []int{2, 8} {
-		res, err := RunOneSided(Config{Machine: mc(t, "perlmutter-cpu"), Matrix: m, Ranks: p})
+		res, err := Run(Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.OneSided, Matrix: m, Ranks: p})
 		if err != nil {
 			t.Fatalf("P=%d: %v", p, err)
 		}
@@ -122,7 +123,7 @@ func TestOneSidedSolveCorrect(t *testing.T) {
 func TestGPUSolveCorrect(t *testing.T) {
 	m := testMatrix(t)
 	for _, p := range []int{1, 4} {
-		res, err := RunGPU(Config{Machine: mc(t, "perlmutter-gpu"), Matrix: m, Ranks: p})
+		res, err := Run(Config{Machine: mc(t, "perlmutter-gpu"), Transport: comm.Shmem, Matrix: m, Ranks: p})
 		if err != nil {
 			t.Fatalf("P=%d: %v", p, err)
 		}
@@ -133,7 +134,7 @@ func TestGPUSolveCorrect(t *testing.T) {
 func TestOneMessagePerSync(t *testing.T) {
 	// Table II: SpTRSV has 1 msg/sync.
 	m := testMatrix(t)
-	res, err := RunTwoSided(Config{Machine: mc(t, "perlmutter-cpu"), Matrix: m, Ranks: 4})
+	res, err := Run(Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.TwoSided, Matrix: m, Ranks: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestOneMessagePerSync(t *testing.T) {
 
 func TestMessageSizesMatchDAG(t *testing.T) {
 	m := testMatrix(t)
-	res, err := RunTwoSided(Config{Machine: mc(t, "perlmutter-cpu"), Matrix: m, Ranks: 4})
+	res, err := Run(Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.TwoSided, Matrix: m, Ranks: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,11 +166,11 @@ func TestOneSidedSlowerThanTwoSided(t *testing.T) {
 	// Fig 8 / §III-B: one-sided SpTRSV is slower due to 4x MPI ops.
 	m := testMatrix(t)
 	for _, p := range []int{4, 16} {
-		two, err := RunTwoSided(Config{Machine: mc(t, "perlmutter-cpu"), Matrix: m, Ranks: p})
+		two, err := Run(Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.TwoSided, Matrix: m, Ranks: p})
 		if err != nil {
 			t.Fatal(err)
 		}
-		one, err := RunOneSided(Config{Machine: mc(t, "perlmutter-cpu"), Matrix: m, Ranks: p})
+		one, err := Run(Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.OneSided, Matrix: m, Ranks: p})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -184,11 +185,11 @@ func TestPollingCostMatters(t *testing.T) {
 	// Ablation: zeroing the Listing-1 scan cost must speed up the
 	// one-sided solve (DESIGN.md ablation #2).
 	m := testMatrix(t)
-	withPoll, err := RunOneSided(Config{Machine: mc(t, "perlmutter-cpu"), Matrix: m, Ranks: 16})
+	withPoll, err := Run(Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.OneSided, Matrix: m, Ranks: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
-	freePoll, err := RunOneSided(Config{Machine: mc(t, "perlmutter-cpu"), Matrix: m, Ranks: 16, PollCheck: -1})
+	freePoll, err := Run(Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.OneSided, Matrix: m, Ranks: 16, PollCheck: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,11 +202,11 @@ func TestPerlmutterGPUBeatsSummitGPU(t *testing.T) {
 	// Fig 8: at 4 GPUs, Perlmutter (NVLink3) clearly beats Summit
 	// (NVLink2 + dumbbell) for the latency-bound solve.
 	m := testMatrix(t)
-	pm, err := RunGPU(Config{Machine: mc(t, "perlmutter-gpu"), Matrix: m, Ranks: 4})
+	pm, err := Run(Config{Machine: mc(t, "perlmutter-gpu"), Transport: comm.Shmem, Matrix: m, Ranks: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sm, err := RunGPU(Config{Machine: mc(t, "summit-gpu"), Matrix: m, Ranks: 4})
+	sm, err := Run(Config{Machine: mc(t, "summit-gpu"), Transport: comm.Shmem, Matrix: m, Ranks: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,11 +218,11 @@ func TestPerlmutterGPUBeatsSummitGPU(t *testing.T) {
 
 func TestDeterministicSolveTime(t *testing.T) {
 	m := testMatrix(t)
-	a, err := RunTwoSided(Config{Machine: mc(t, "perlmutter-cpu"), Matrix: m, Ranks: 8})
+	a, err := Run(Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.TwoSided, Matrix: m, Ranks: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunTwoSided(Config{Machine: mc(t, "perlmutter-cpu"), Matrix: m, Ranks: 8})
+	b, err := Run(Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.TwoSided, Matrix: m, Ranks: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestDeterministicSolveTime(t *testing.T) {
 func TestNotifiedAccessSolveCorrect(t *testing.T) {
 	m := testMatrix(t)
 	for _, p := range []int{2, 8} {
-		res, err := RunNotified(Config{Machine: mc(t, "perlmutter-cpu"), Matrix: m, Ranks: p})
+		res, err := Run(Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.Notified, Matrix: m, Ranks: p})
 		if err != nil {
 			t.Fatalf("P=%d: %v", p, err)
 		}
@@ -248,15 +249,15 @@ func TestNotifiedBeatsTwoSided(t *testing.T) {
 	// and a single flight per message.
 	m := testMatrix(t)
 	for _, p := range []int{8, 16} {
-		two, err := RunTwoSided(Config{Machine: mc(t, "perlmutter-cpu"), Matrix: m, Ranks: p})
+		two, err := Run(Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.TwoSided, Matrix: m, Ranks: p})
 		if err != nil {
 			t.Fatal(err)
 		}
-		ntf, err := RunNotified(Config{Machine: mc(t, "perlmutter-cpu"), Matrix: m, Ranks: p})
+		ntf, err := Run(Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.Notified, Matrix: m, Ranks: p})
 		if err != nil {
 			t.Fatal(err)
 		}
-		one, err := RunOneSided(Config{Machine: mc(t, "perlmutter-cpu"), Matrix: m, Ranks: p})
+		one, err := Run(Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.OneSided, Matrix: m, Ranks: p})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -275,7 +276,7 @@ func TestNotifiedBeatsTwoSided(t *testing.T) {
 
 func TestTrafficMatrixPopulated(t *testing.T) {
 	m := testMatrix(t)
-	res, err := RunTwoSided(Config{Machine: mc(t, "perlmutter-cpu"), Matrix: m, Ranks: 4})
+	res, err := Run(Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.TwoSided, Matrix: m, Ranks: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,25 +5,10 @@ import (
 	"fmt"
 	"math"
 
-	"msgroofline/internal/machine"
-	"msgroofline/internal/mpi"
-	"msgroofline/internal/netsim"
-	"msgroofline/internal/shmem"
+	"msgroofline/internal/comm"
 	"msgroofline/internal/sim"
 	"msgroofline/internal/trace"
 )
-
-// applyChaos installs the conformance harness's opt-in schedule
-// perturbation and network fault injection on a freshly built world.
-// Both fields are nil in normal runs, leaving behavior untouched.
-func (cfg Config) applyChaos(eng *sim.Engine, net *netsim.Network) {
-	if cfg.Perturb != nil {
-		eng.SetPerturbation(cfg.Perturb)
-	}
-	if cfg.Faults != nil {
-		net.SetFaults(cfg.Faults)
-	}
-}
 
 func encodeFloats(v []float64) []byte {
 	out := make([]byte, 8*len(v))
@@ -41,46 +26,50 @@ func decodeFloats(b []byte) []float64 {
 	return out
 }
 
-// RunTwoSided executes the two-sided variant: per iteration each rank
-// posts Irecv for every neighbor halo, Isends its own four halos, and
-// closes the exchange with Waitall before computing.
-func RunTwoSided(cfg Config) (*Result, error) {
+// Run executes the stencil once on the transport named by
+// cfg.Transport. The kernel is transport-agnostic: per iteration each
+// rank offers its halos as one BSP exchange — four sends into the
+// neighbors' opposite slots, four expected receives into its own —
+// and the transport realizes the epoch with its native protocol
+// (Isend/Irecv/Waitall, Put+fence, put-with-signal+wait).
+func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	l := layout{px: cfg.PX, py: cfg.PY, nx: cfg.Grid / cfg.PX, ny: cfg.Grid / cfg.PY}
 	ranks := cfg.PX * cfg.PY
-	c, err := mpi.NewComm(cfg.Machine, ranks)
-	if err != nil {
-		return nil, err
+	// Each of the 4 halo slots must fit the larger halo direction.
+	slot := 8 * l.nx
+	if 8*l.ny > slot {
+		slot = 8 * l.ny
 	}
-	cfg.applyChaos(c.Engine(), c.World().Inst.Net)
-	rec := trace.New()
-	c.SetSendHook(func(src, dst int, bytes int64, issue, deliver sim.Time) {
-		rec.Record(trace.Event{Src: src, Dst: dst, Bytes: bytes, Issue: issue, Deliver: deliver})
+	t, err := comm.New(comm.Spec{
+		Machine: cfg.Machine, Kind: cfg.Transport, Ranks: ranks,
+		ExchangeSlots: 4, SlotBytes: slot,
+		Perturb: cfg.Perturb, Faults: cfg.Faults,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("stencil %s: %w", cfg.Transport, err)
+	}
 	sums := make([]float64, ranks)
-	err = c.Launch(func(r *mpi.Rank) {
-		nbrs := l.neighbors(r.Rank())
-		var t *tile
+	err = t.Launch(func(ep comm.Endpoint) {
+		me := ep.Rank()
+		nbrs := l.neighbors(me)
+		var tl *tile
 		if cfg.Verify {
-			t = newTile(l.nx, l.ny)
-			t.initTile(l, r.Rank(), cfg.Grid)
+			tl = newTile(l.nx, l.ny)
+			tl.initTile(l, me, cfg.Grid)
 		}
 		comp := computeTime(l, cfg)
 		for iter := 0; iter < cfg.Iters; iter++ {
-			var reqs []*mpi.Request
+			var sends []comm.Msg
+			var recvs []comm.Expect
 			var recvDirs []int
-			var recvs []*mpi.Request
 			for dir, nb := range nbrs {
 				if nb < 0 {
 					continue
 				}
-				// The neighbor sends its halo tagged with its own
-				// direction, which is opposite(dir) from here.
-				rq := r.Irecv(nb, iter*4+opposite(dir))
-				reqs = append(reqs, rq)
-				recvs = append(recvs, rq)
+				recvs = append(recvs, comm.Expect{Peer: nb, Slot: dir, Bytes: int(l.haloBytes(dir))})
 				recvDirs = append(recvDirs, dir)
 			}
 			for dir, nb := range nbrs {
@@ -89,196 +78,54 @@ func RunTwoSided(cfg Config) (*Result, error) {
 				}
 				var payload []byte
 				if cfg.Verify {
-					payload = encodeFloats(t.extract(dir))
+					payload = encodeFloats(tl.extract(dir))
 				} else {
 					payload = make([]byte, l.haloBytes(dir))
 				}
-				reqs = append(reqs, r.Isend(nb, iter*4+dir, payload))
+				// My dir-halo lands in the neighbor's opposite slot.
+				sends = append(sends, comm.Msg{Peer: nb, Slot: opposite(dir), Data: payload})
 			}
-			r.Waitall(reqs)
-			rec.Sync()
+			halos := ep.Exchange(iter, sends, recvs)
 			if cfg.Verify {
-				for k, rq := range recvs {
-					t.inject(recvDirs[k], decodeFloats(rq.Data))
+				for k, data := range halos {
+					tl.inject(recvDirs[k], decodeFloats(data))
 				}
-				t.step()
+				tl.step()
 			}
-			r.Compute(comp)
+			ep.Compute(comp)
 		}
 		if cfg.Verify {
-			sums[r.Rank()] = t.checksum()
+			sums[me] = tl.checksum()
 		}
 	})
 	if err != nil {
-		return nil, fmt.Errorf("stencil two-sided: %w", err)
+		return nil, fmt.Errorf("stencil %s: %w", cfg.Transport, err)
 	}
-	return finish(cfg, c.Elapsed(), rec, sums, ranks), nil
+	return finish(cfg, t.Elapsed(), t.Recorder(), sums, ranks), nil
 }
 
-// RunOneSided executes the one-sided variant: four MPI_Put into the
-// neighbors' halo windows inside a pair of MPI_Win_fence (§III-A).
+// RunTwoSided executes the two-sided variant.
+//
+// Deprecated: set Config.Transport and call Run.
+func RunTwoSided(cfg Config) (*Result, error) {
+	cfg.Transport = comm.TwoSided
+	return Run(cfg)
+}
+
+// RunOneSided executes the one-sided fence-epoch variant.
+//
+// Deprecated: set Config.Transport and call Run.
 func RunOneSided(cfg Config) (*Result, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	l := layout{px: cfg.PX, py: cfg.PY, nx: cfg.Grid / cfg.PX, ny: cfg.Grid / cfg.PY}
-	ranks := cfg.PX * cfg.PY
-	c, err := mpi.NewComm(cfg.Machine, ranks)
-	if err != nil {
-		return nil, err
-	}
-	cfg.applyChaos(c.Engine(), c.World().Inst.Net)
-	// Window layout: 2 parities x 4 halo slots, each big enough for
-	// the larger halo direction. Iterations alternate parity so a
-	// neighbor's epoch-(i+1) put can never land in the slot this rank
-	// is still reading epoch-i data from (the fence only separates
-	// epochs, not a fast neighbor's next put from a slow reader).
-	slot := 8 * l.nx
-	if 8*l.ny > slot {
-		slot = 8 * l.ny
-	}
-	win, err := c.NewWin(2 * 4 * slot)
-	if err != nil {
-		return nil, err
-	}
-	rec := trace.New()
-	win.SetHook(func(src, dst int, bytes int64, issue, deliver sim.Time) {
-		rec.Record(trace.Event{Src: src, Dst: dst, Bytes: bytes, Issue: issue, Deliver: deliver})
-	})
-	sums := make([]float64, ranks)
-	err = c.Launch(func(r *mpi.Rank) {
-		nbrs := l.neighbors(r.Rank())
-		var t *tile
-		if cfg.Verify {
-			t = newTile(l.nx, l.ny)
-			t.initTile(l, r.Rank(), cfg.Grid)
-		}
-		comp := computeTime(l, cfg)
-		for iter := 0; iter < cfg.Iters; iter++ {
-			parity := iter % 2
-			for dir, nb := range nbrs {
-				if nb < 0 {
-					continue
-				}
-				var payload []byte
-				if cfg.Verify {
-					payload = encodeFloats(t.extract(dir))
-				} else {
-					payload = make([]byte, l.haloBytes(dir))
-				}
-				// My dir-halo lands in the neighbor's opposite slot
-				// of this iteration's parity bank.
-				r.Put(win, nb, (parity*4+opposite(dir))*slot, payload)
-			}
-			r.Fence(win)
-			rec.Sync()
-			if cfg.Verify {
-				for dir, nb := range nbrs {
-					if nb < 0 {
-						continue
-					}
-					off := (parity*4 + dir) * slot
-					data := win.Local(r.Rank())[off : off+int(l.haloBytes(dir))]
-					t.inject(dir, decodeFloats(data))
-				}
-				t.step()
-			}
-			r.Compute(comp)
-		}
-		if cfg.Verify {
-			sums[r.Rank()] = t.checksum()
-		}
-	})
-	if err != nil {
-		return nil, fmt.Errorf("stencil one-sided: %w", err)
-	}
-	return finish(cfg, c.Elapsed(), rec, sums, ranks), nil
+	cfg.Transport = comm.OneSided
+	return Run(cfg)
 }
 
-// RunGPU executes the GPU variant: nvshmem put-with-signal toward
-// each neighbor, the receiver waiting on wait_until_all, with
-// parity-double-buffered halo slots so no barrier is needed.
+// RunGPU executes the NVSHMEM put-with-signal variant.
+//
+// Deprecated: set Config.Transport and call Run.
 func RunGPU(cfg Config) (*Result, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	if cfg.Machine.Kind != machine.GPU {
-		return nil, fmt.Errorf("stencil: RunGPU needs a GPU machine, got %s", cfg.Machine.Name)
-	}
-	l := layout{px: cfg.PX, py: cfg.PY, nx: cfg.Grid / cfg.PX, ny: cfg.Grid / cfg.PY}
-	npes := cfg.PX * cfg.PY
-	slot := 8 * l.nx
-	if 8*l.ny > slot {
-		slot = 8 * l.ny
-	}
-	// Heap: 2 parities x 4 halo slots, then 2 parities x 4 signals.
-	sigBase := 8 * slot
-	heap := sigBase + 2*4*8
-	j, err := shmem.NewJob(cfg.Machine, npes, heap)
-	if err != nil {
-		return nil, err
-	}
-	cfg.applyChaos(j.Engine(), j.World().Inst.Net)
-	rec := trace.New()
-	j.SetPutHook(func(src, dst int, bytes int64, issue, deliver sim.Time) {
-		rec.Record(trace.Event{Src: src, Dst: dst, Bytes: bytes, Issue: issue, Deliver: deliver})
-	})
-	sums := make([]float64, npes)
-	err = j.Launch(func(c *shmem.Ctx) {
-		me := c.MyPE()
-		nbrs := l.neighbors(me)
-		var t *tile
-		if cfg.Verify {
-			t = newTile(l.nx, l.ny)
-			t.initTile(l, me, cfg.Grid)
-		}
-		comp := computeTime(l, cfg)
-		for iter := 0; iter < cfg.Iters; iter++ {
-			parity := iter % 2
-			for dir, nb := range nbrs {
-				if nb < 0 {
-					continue
-				}
-				var payload []byte
-				if cfg.Verify {
-					payload = encodeFloats(t.extract(dir))
-				} else {
-					payload = make([]byte, l.haloBytes(dir))
-				}
-				dstSlot := (parity*4 + opposite(dir)) * slot
-				dstSig := sigBase + (parity*4+opposite(dir))*8
-				c.PutSignalNBI(nb, dstSlot, payload, dstSig, uint64(iter+1))
-			}
-			var sigs []int
-			for dir, nb := range nbrs {
-				if nb < 0 {
-					continue
-				}
-				sigs = append(sigs, sigBase+(parity*4+dir)*8)
-			}
-			c.WaitUntilAll(sigs, uint64(iter+1))
-			rec.Sync()
-			if cfg.Verify {
-				for dir, nb := range nbrs {
-					if nb < 0 {
-						continue
-					}
-					off := (parity*4 + dir) * slot
-					data := c.PE().Heap()[off : off+int(l.haloBytes(dir))]
-					t.inject(dir, decodeFloats(data))
-				}
-				t.step()
-			}
-			c.Compute(comp)
-		}
-		if cfg.Verify {
-			sums[me] = t.checksum()
-		}
-	})
-	if err != nil {
-		return nil, fmt.Errorf("stencil gpu: %w", err)
-	}
-	return finish(cfg, j.Elapsed(), rec, sums, npes), nil
+	cfg.Transport = comm.Shmem
+	return Run(cfg)
 }
 
 func finish(cfg Config, elapsed sim.Time, rec *trace.Recorder, sums []float64, ranks int) *Result {

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 
+	"msgroofline/internal/comm"
 	"msgroofline/internal/machine"
 	"msgroofline/internal/netsim"
 	"msgroofline/internal/sim"
@@ -34,6 +35,9 @@ const CPUCellRate = 5e8
 type Config struct {
 	// Machine is the target platform from the catalog.
 	Machine *machine.Config
+	// Transport selects the communication stack the one kernel runs
+	// on (comm.TwoSided, comm.OneSided, comm.Notified, comm.Shmem).
+	Transport comm.Kind
 	// Grid is the global edge length (paper: 16384).
 	Grid int
 	// Iters is the number of Jacobi iterations.

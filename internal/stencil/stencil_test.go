@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"msgroofline/internal/comm"
 	"msgroofline/internal/machine"
 )
 
@@ -25,7 +26,7 @@ func TestValidate(t *testing.T) {
 		{Machine: pm, Grid: 65, Iters: 1, PX: 2, PY: 2}, // not divisible
 	}
 	for _, c := range bad {
-		if _, err := RunTwoSided(c); err == nil {
+		if _, err := Run(c); err == nil {
 			t.Fatalf("config %+v should fail", c)
 		}
 	}
@@ -55,8 +56,8 @@ func TestSerialReferenceConverges(t *testing.T) {
 }
 
 func TestTwoSidedMatchesSerial(t *testing.T) {
-	cfg := Config{Machine: mc(t, "perlmutter-cpu"), Grid: 48, Iters: 5, PX: 4, PY: 4, Verify: true}
-	res, err := RunTwoSided(cfg)
+	cfg := Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.TwoSided, Grid: 48, Iters: 5, PX: 4, PY: 4, Verify: true}
+	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,8 +68,8 @@ func TestTwoSidedMatchesSerial(t *testing.T) {
 }
 
 func TestOneSidedMatchesSerial(t *testing.T) {
-	cfg := Config{Machine: mc(t, "perlmutter-cpu"), Grid: 48, Iters: 5, PX: 4, PY: 4, Verify: true}
-	res, err := RunOneSided(cfg)
+	cfg := Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.OneSided, Grid: 48, Iters: 5, PX: 4, PY: 4, Verify: true}
+	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,8 +80,8 @@ func TestOneSidedMatchesSerial(t *testing.T) {
 }
 
 func TestGPUMatchesSerial(t *testing.T) {
-	cfg := Config{Machine: mc(t, "perlmutter-gpu"), Grid: 48, Iters: 6, PX: 2, PY: 2, Verify: true}
-	res, err := RunGPU(cfg)
+	cfg := Config{Machine: mc(t, "perlmutter-gpu"), Transport: comm.Shmem, Grid: 48, Iters: 6, PX: 2, PY: 2, Verify: true}
+	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,17 +92,17 @@ func TestGPUMatchesSerial(t *testing.T) {
 }
 
 func TestGPURejectsCPUMachine(t *testing.T) {
-	cfg := Config{Machine: mc(t, "perlmutter-cpu"), Grid: 16, Iters: 1, PX: 2, PY: 2}
-	if _, err := RunGPU(cfg); err == nil {
-		t.Fatal("RunGPU on CPU machine should fail")
+	cfg := Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.Shmem, Grid: 16, Iters: 1, PX: 2, PY: 2}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("shmem transport on a CPU machine should fail")
 	}
 }
 
 func TestMsgsPerSyncIsFour(t *testing.T) {
 	// Table II: stencil has 4 msgs/sync for interior ranks. On a
 	// 4x4 grid the average over edge ranks is 3, interior 4.
-	cfg := Config{Machine: mc(t, "perlmutter-cpu"), Grid: 64, Iters: 3, PX: 4, PY: 4}
-	res, err := RunTwoSided(cfg)
+	cfg := Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.TwoSided, Grid: 64, Iters: 3, PX: 4, PY: 4}
+	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,12 +122,13 @@ func TestMsgsPerSyncIsFour(t *testing.T) {
 func TestTwoAndOneSidedComparableOnCPU(t *testing.T) {
 	// §III-A: stencils are bandwidth/compute-bound, so one- and
 	// two-sided perform about equally on CPUs.
-	cfg := Config{Machine: mc(t, "perlmutter-cpu"), Grid: 2048, Iters: 4, PX: 4, PY: 4}
-	two, err := RunTwoSided(cfg)
+	cfg := Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.TwoSided, Grid: 2048, Iters: 4, PX: 4, PY: 4}
+	two, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	one, err := RunOneSided(cfg)
+	cfg.Transport = comm.OneSided
+	one, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,11 +140,11 @@ func TestTwoAndOneSidedComparableOnCPU(t *testing.T) {
 
 func TestGPUFasterThanCPU(t *testing.T) {
 	// Fig 5: GPUs win from parallelism and bandwidth.
-	cpu, err := RunTwoSided(Config{Machine: mc(t, "perlmutter-cpu"), Grid: 2048, Iters: 4, PX: 4, PY: 1})
+	cpu, err := Run(Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.TwoSided, Grid: 2048, Iters: 4, PX: 4, PY: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	gpu, err := RunGPU(Config{Machine: mc(t, "perlmutter-gpu"), Grid: 2048, Iters: 4, PX: 4, PY: 1})
+	gpu, err := Run(Config{Machine: mc(t, "perlmutter-gpu"), Transport: comm.Shmem, Grid: 2048, Iters: 4, PX: 4, PY: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,11 +159,11 @@ func TestGPUFasterThanCPU(t *testing.T) {
 
 func TestStrongScaling(t *testing.T) {
 	// More ranks -> less time (compute-dominated regime).
-	base, err := RunTwoSided(Config{Machine: mc(t, "perlmutter-cpu"), Grid: 2048, Iters: 3, PX: 2, PY: 2})
+	base, err := Run(Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.TwoSided, Grid: 2048, Iters: 3, PX: 2, PY: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	big, err := RunTwoSided(Config{Machine: mc(t, "perlmutter-cpu"), Grid: 2048, Iters: 3, PX: 8, PY: 8})
+	big, err := Run(Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.TwoSided, Grid: 2048, Iters: 3, PX: 8, PY: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,15 +206,16 @@ func TestHaloExtractInject(t *testing.T) {
 func TestGPUInitiatedBeatsHostStaged(t *testing.T) {
 	// §I: host-staged communication (device->host, MPI, host->device)
 	// is the traditional multi-GPU path; GPU-initiated NVSHMEM beats
-	// it on latency. RunTwoSided on a GPU machine IS the host-staged
+	// it on latency. the two-sided transport on a GPU machine IS the host-staged
 	// variant: the transport is host-initiated MPI routed through the
 	// host node, while compute still runs at GPU rates.
-	cfg := Config{Machine: mc(t, "perlmutter-gpu"), Grid: 2048, Iters: 4, PX: 2, PY: 2}
-	staged, err := RunTwoSided(cfg)
+	cfg := Config{Machine: mc(t, "perlmutter-gpu"), Transport: comm.TwoSided, Grid: 2048, Iters: 4, PX: 2, PY: 2}
+	staged, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, err := RunGPU(cfg)
+	cfg.Transport = comm.Shmem
+	direct, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,8 +223,8 @@ func TestGPUInitiatedBeatsHostStaged(t *testing.T) {
 		t.Fatalf("GPU-initiated (%v) should beat host-staged (%v)", direct.Elapsed, staged.Elapsed)
 	}
 	// Host-staged correctness: verified numerics still hold.
-	v := Config{Machine: mc(t, "perlmutter-gpu"), Grid: 48, Iters: 5, PX: 2, PY: 2, Verify: true}
-	res, err := RunTwoSided(v)
+	v := Config{Machine: mc(t, "perlmutter-gpu"), Transport: comm.TwoSided, Grid: 48, Iters: 5, PX: 2, PY: 2, Verify: true}
+	res, err := Run(v)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,8 +235,8 @@ func TestGPUInitiatedBeatsHostStaged(t *testing.T) {
 }
 
 func TestHaloTrafficMatrixIsNeighborOnly(t *testing.T) {
-	cfg := Config{Machine: mc(t, "perlmutter-cpu"), Grid: 64, Iters: 2, PX: 4, PY: 4}
-	res, err := RunTwoSided(cfg)
+	cfg := Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.TwoSided, Grid: 64, Iters: 2, PX: 4, PY: 4}
+	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

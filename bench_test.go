@@ -21,6 +21,7 @@ import (
 	"msgroofline/internal/experiments"
 	"msgroofline/internal/hashtable"
 	"msgroofline/internal/machine"
+	"msgroofline/internal/pointcache"
 	"msgroofline/internal/shmem"
 	"msgroofline/internal/sim"
 	"msgroofline/internal/sim/simbench"
@@ -61,7 +62,7 @@ func BenchmarkTableI(b *testing.B) {
 // traced runs.
 func BenchmarkTableII(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.TableII(experiments.Quick); err != nil {
+		if _, err := experiments.TableII(&experiments.Env{Scale: experiments.Quick}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -71,7 +72,7 @@ func BenchmarkTableII(b *testing.B) {
 // and fits the roofline.
 func BenchmarkFig1MessageRoofline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig1(experiments.Quick); err != nil {
+		if _, err := experiments.Fig1(&experiments.Env{Scale: experiments.Quick}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -176,7 +177,7 @@ func BenchmarkFig5StencilGPU(b *testing.B) { benchFig5(b, comm.Shmem, "perlmutte
 // Fig 6: workload bounds on the roofline.
 func BenchmarkFig6WorkloadBounds(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig6(experiments.Quick); err != nil {
+		if _, err := experiments.Fig6(&experiments.Env{Scale: experiments.Quick}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -185,7 +186,7 @@ func BenchmarkFig6WorkloadBounds(b *testing.B) {
 // Fig 7: latency vs msg/sync.
 func BenchmarkFig7LatencyVsMsgSync(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig7(experiments.Quick); err != nil {
+		if _, err := experiments.Fig7(&experiments.Env{Scale: experiments.Quick}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -416,12 +417,97 @@ type simPerfRecord struct {
 	Events       uint64  `json:"events"`
 }
 
+// suiteWallRecord is one "suite-wall/v1" measurement: the wall time of
+// one full `cmd/experiments -scale quick` regeneration under one cache
+// configuration, plus the point-cache hit rate and the dedup planner's
+// census. Cache-off and warm-disk records of the same label pair up as
+// the before/after of the point-cache work.
+type suiteWallRecord struct {
+	Record string `json:"record"` // always "suite-wall/v1"
+	Label  string `json:"label"`
+	Date   string `json:"date"`
+	Scale  string `json:"scale"`
+	Jobs   int    `json:"jobs"`
+	// Cache names the configuration: "off", "cold-disk" or "warm-disk".
+	Cache       string  `json:"cache"`
+	WallMs      float64 `json:"wall_ms"`
+	HitRate     float64 `json:"hit_rate"`
+	PlanPoints  int     `json:"plan_points"`
+	PlanUnique  int     `json:"plan_unique"`
+	CrossFigure int     `json:"plan_cross_figure_duplicates"`
+}
+
 type simPerfFile struct {
-	Schema  string          `json:"schema"`
-	Records []simPerfRecord `json:"records"`
+	Schema    string            `json:"schema"`
+	Records   []simPerfRecord   `json:"records"`
+	SuiteWall []suiteWallRecord `json:"suite_wall,omitempty"`
 }
 
 const simPerfPath = "BENCH_sim.json"
+
+// TestRecordSuiteWall appends suite-wall/v1 records to BENCH_sim.json:
+//
+//	BENCH_SUITE_RECORD=<label> go test -run TestRecordSuiteWall .
+//
+// It regenerates the quick suite three times in-process — cache off,
+// cold disk cache, warm disk cache — and records each wall time with
+// the hit rate and the planner's duplicate census. The cache-off and
+// warm-disk records are the before/after of the point-cache work.
+func TestRecordSuiteWall(t *testing.T) {
+	label := os.Getenv("BENCH_SUITE_RECORD")
+	if label == "" {
+		t.Skip("set BENCH_SUITE_RECORD=<label> to append suite wall times to BENCH_sim.json")
+	}
+	dir := t.TempDir()
+	date := time.Now().UTC().Format("2006-01-02")
+	var recs []suiteWallRecord
+	run := func(name string, cache *pointcache.Cache) {
+		start := time.Now()
+		_, _, ps, err := experiments.RunAllCached(experiments.Registry(), experiments.Quick, sweepJobs, cache)
+		wall := time.Since(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := suiteWallRecord{
+			Record: "suite-wall/v1", Label: label, Date: date,
+			Scale: "quick", Jobs: sweepJobs, Cache: name,
+			WallMs:     float64(wall.Microseconds()) / 1e3,
+			HitRate:    cache.Stats().HitRate(),
+			PlanPoints: ps.Points, PlanUnique: ps.Unique, CrossFigure: ps.CrossFigure,
+		}
+		recs = append(recs, r)
+		t.Logf("%s: %.0f ms wall, hit rate %.2f, %d/%d unique points (%d cross-figure dup)",
+			name, r.WallMs, r.HitRate, ps.Unique, ps.Points, ps.CrossFigure)
+	}
+	run("off", nil)
+	cold, err := pointcache.New(pointcache.Disk, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run("cold-disk", cold)
+	warm, err := pointcache.New(pointcache.Disk, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run("warm-disk", warm)
+
+	var f simPerfFile
+	if data, err := os.ReadFile(simPerfPath); err == nil && len(data) > 0 {
+		if err := json.Unmarshal(data, &f); err != nil {
+			t.Fatalf("parse %s: %v", simPerfPath, err)
+		}
+	}
+	f.Schema = "sim-engine-perf/v1"
+	f.SuiteWall = append(f.SuiteWall, recs...)
+	out, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(simPerfPath, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("appended %d suite-wall records to %s", len(recs), simPerfPath)
+}
 
 func TestRecordSimPerfTrajectory(t *testing.T) {
 	label := os.Getenv("BENCH_SIM_RECORD")

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	experiments [-scale quick|full] [-only fig3,fig9] [-jobs N] [-csv DIR] [-list]
+//	            [-cache off|mem|disk] [-cache-dir DIR]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Experiments run concurrently on up to -jobs workers (default: the
@@ -12,6 +13,16 @@
 // byte-identical at any -jobs value. Wall-time reporting goes to
 // stderr. With -csv DIR each experiment's series are written to
 // DIR/<id>.csv.
+//
+// -cache memoizes every simulated sweep point, CAS latency, and split
+// run by content address (internal/pointcache): "mem" (the default)
+// dedups within one invocation, "disk" additionally persists entries
+// under -cache-dir so repeated runs simulate only the diff, "off"
+// disables memoization. A dedup planner first simulates the union of
+// unique points declared across all selected figures exactly once.
+// The cache decides only which simulations run — stdout is
+// byte-identical at every cache mode — and its hit-rate summary goes
+// to stderr.
 package main
 
 import (
@@ -26,6 +37,7 @@ import (
 
 	"msgroofline/internal/experiments"
 	"msgroofline/internal/plot"
+	"msgroofline/internal/pointcache"
 )
 
 func main() {
@@ -34,6 +46,9 @@ func main() {
 	jobs := flag.Int("jobs", runtime.NumCPU(), "number of experiments regenerated concurrently")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV series")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	cacheFlag := flag.String("cache", "mem", "point-cache mode: off, mem or disk")
+	cacheDir := flag.String("cache-dir", filepath.Join(os.TempDir(), "msgroofline-pointcache"),
+		"entry directory for -cache=disk")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
@@ -103,7 +118,17 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	outs, stats, err := experiments.RunAll(selected, scale, *jobs)
+	mode, err := pointcache.ParseMode(*cacheFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	cache, err := pointcache.New(mode, *cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	outs, stats, planStats, err := experiments.RunAllCached(selected, scale, *jobs, cache)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -129,4 +154,8 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "suite: %s\n", stats)
+	fmt.Fprintf(os.Stderr, "plan: %s\n", planStats)
+	if cache.Enabled() {
+		fmt.Fprintf(os.Stderr, "cache (%s): %s\n", *cacheFlag, cache.Stats())
+	}
 }

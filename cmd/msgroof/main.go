@@ -13,12 +13,20 @@
 // Sweep points are independent simulations and run concurrently on up
 // to -jobs workers (default: the number of CPUs); output is
 // byte-identical at any -jobs value.
+//
+// -cache memoizes every simulated point by content address
+// (internal/pointcache): "mem" dedups within one invocation, "disk"
+// persists entries under -cache-dir across runs, "off" (the default
+// here) disables memoization. The cache decides only which simulations
+// run — output is byte-identical at every mode — and its hit-rate
+// summary goes to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -28,6 +36,7 @@ import (
 	"msgroofline/internal/loggp"
 	"msgroofline/internal/machine"
 	"msgroofline/internal/plot"
+	"msgroofline/internal/pointcache"
 	"msgroofline/internal/table"
 )
 
@@ -37,6 +46,9 @@ func main() {
 	jobs := flag.Int("jobs", runtime.NumCPU(), "number of sweep points simulated concurrently")
 	split := flag.Bool("split", false, "run the Fig-10 message-splitting experiment instead of a sweep")
 	csvPath := flag.String("csv", "", "write measured series to this CSV file")
+	cacheFlag := flag.String("cache", "off", "point-cache mode: off, mem or disk")
+	cacheDir := flag.String("cache-dir", filepath.Join(os.TempDir(), "msgroofline-pointcache"),
+		"entry directory for -cache=disk")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
@@ -73,8 +85,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	mode, err := pointcache.ParseMode(*cacheFlag)
+	if err != nil {
+		fatal(err)
+	}
+	cache, err := pointcache.New(mode, *cacheDir)
+	if err != nil {
+		fatal(err)
+	}
 	if *split {
-		runSplit(cfg, *csvPath)
+		runSplit(cfg, cache, *csvPath)
+		reportCache(cache, *cacheFlag)
 		return
 	}
 	ns := bench.DefaultNs()
@@ -83,7 +104,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := bench.Sweep(cfg, bench.Spec{Transport: transport, Ns: ns, Sizes: sizes, Jobs: *jobs})
+	res, err := bench.Sweep(cfg, bench.Spec{Transport: transport, Ns: ns, Sizes: sizes, Jobs: *jobs, Cache: cache})
 	if err != nil {
 		fatal(err)
 	}
@@ -115,16 +136,24 @@ func main() {
 	fmt.Println(chart.Render())
 	fmt.Printf("fitted %v  (RMS rel. err %.3f)\n", model.Params, loggp.FitError(model.Params, res.Samples()))
 	fmt.Printf("peak measured %.2f GB/s of %.0f GB/s theoretical\n", res.MaxGBs(), cfg.TheoreticalGBs)
-	fmt.Fprintf(os.Stderr, "sweep: %s\n", res.Sched)
+	fmt.Fprintf(os.Stderr, "sweep: %s\n", res.Sched.Host)
+	reportCache(cache, *cacheFlag)
 	writeCSV(*csvPath, res.Series())
 }
 
-func runSplit(cfg *machine.Config, csvPath string) {
+// reportCache prints the hit-rate summary to stderr when caching is on.
+func reportCache(cache *pointcache.Cache, mode string) {
+	if cache.Enabled() {
+		fmt.Fprintf(os.Stderr, "cache (%s): %s\n", mode, cache.Stats())
+	}
+}
+
+func runSplit(cfg *machine.Config, cache *pointcache.Cache, csvPath string) {
 	var volumes []int64
 	for v := int64(1 << 10); v <= 4<<20; v *= 2 {
 		volumes = append(volumes, v)
 	}
-	pts, err := bench.SweepSplit(cfg, 4, volumes)
+	pts, err := bench.SweepSplitCached(cache, cfg, 4, volumes)
 	if err != nil {
 		fatal(err)
 	}

@@ -217,6 +217,11 @@ type Transport interface {
 	SharedBytes(rank int) []byte
 	// AtomicCount is the total remote atomic operations executed.
 	AtomicCount() int64
+	// Close releases the transport's pooled resources (the trace
+	// recorder's event buffer). Call it after the last use of
+	// Recorder() and of any Events() slice obtained from it; Recorder
+	// returns nil afterwards. Close is idempotent.
+	Close()
 }
 
 // Endpoint is one rank's handle inside Launch. The op families map
@@ -309,14 +314,21 @@ type base struct {
 func (b *base) Ranks() int                { return b.spec.Ranks }
 func (b *base) Recorder() *trace.Recorder { return b.rec }
 
-// attachTrace creates the recorder unless disabled and returns the
-// hook to install on the stack's payload-message tap (nil = no hook,
-// zero per-message cost).
+// Close returns the trace recorder's event buffer to the package pool
+// so the next traced run reuses it instead of growing a fresh one.
+func (b *base) Close() {
+	trace.Release(b.rec)
+	b.rec = nil
+}
+
+// attachTrace acquires a pooled recorder unless disabled and returns
+// the hook to install on the stack's payload-message tap (nil = no
+// hook, zero per-message cost).
 func (b *base) attachTrace() func(src, dst int, bytes int64, issue, deliver sim.Time) {
 	if b.spec.NoTrace {
 		return nil
 	}
-	rec := trace.New()
+	rec := trace.Get()
 	b.rec = rec
 	return func(src, dst int, bytes int64, issue, deliver sim.Time) {
 		rec.Record(trace.Event{Src: src, Dst: dst, Bytes: bytes, Issue: issue, Deliver: deliver})

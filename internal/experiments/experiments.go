@@ -10,8 +10,10 @@ import (
 	"fmt"
 	"strings"
 
+	"msgroofline/internal/bench"
 	"msgroofline/internal/machine"
 	"msgroofline/internal/plot"
+	"msgroofline/internal/pointcache"
 	"msgroofline/internal/sched"
 	"msgroofline/internal/sim"
 	"msgroofline/internal/spmat"
@@ -58,31 +60,55 @@ func (o *Output) Render() string {
 	return b.String()
 }
 
+// Env carries the run-wide context every experiment receives: the
+// problem scale and the shared point cache (nil when caching is off).
+// The cache only decides which simulations run; it never changes what
+// any experiment outputs.
+type Env struct {
+	Scale Scale
+	Cache *pointcache.Cache
+}
+
+// SweepReq declares one bench sweep a figure will run: the catalog
+// machine name and the spec. The dedup planner expands these
+// declarations into point sets before any figure runs.
+type SweepReq struct {
+	Machine string
+	Spec    bench.Spec
+}
+
 // Experiment is a registered generator.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(Scale) (*Output, error)
+	Run   func(*Env) (*Output, error)
+	// Sweeps, when set, declares the bench sweeps Run will perform at
+	// a given scale, letting the planner simulate the union of unique
+	// points across all figures exactly once. Declaring is optional —
+	// an undeclared sweep still caches point by point — and must be
+	// conservative: declaring a sweep Run never performs would
+	// simulate (and cache) points nobody reads.
+	Sweeps func(Scale) []SweepReq
 }
 
 // Registry lists every experiment in paper order.
 func Registry() []Experiment {
 	return []Experiment{
-		{"tableI", "Evaluation platforms (Table I / Table III)", func(Scale) (*Output, error) { return TableI() }},
-		{"fig1", "Message Roofline overview on Frontier (Fig 1)", Fig1},
-		{"fig2", "Node architectures (Fig 2)", func(Scale) (*Output, error) { return Fig2() }},
-		{"fig3", "Two-sided vs one-sided MPI bandwidth on CPUs (Fig 3)", Fig3},
-		{"fig4", "GPU-initiated put-with-signal and CAS (Fig 4)", Fig4},
-		{"tableII", "Workload characterization (Table II)", func(s Scale) (*Output, error) { return TableII(s) }},
-		{"fig5", "Stencil time on CPUs and GPUs (Fig 5)", Fig5},
-		{"fig6", "Workload communication bounds on Perlmutter CPU (Fig 6)", Fig6},
-		{"fig7", "Messaging latency vs msg/sync per workload (Fig 7)", Fig7},
-		{"fig8", "SpTRSV time on CPUs and GPUs (Fig 8)", Fig8},
-		{"fig9", "Distributed hashtable time (Fig 9)", Fig9},
-		{"fig10", "Message splitting speedup on Perlmutter GPU (Fig 10)", Fig10},
-		{"ext-ccl", "Extension: NCCL-style ring collectives (paper future work)", ExtCCL},
-		{"ext-frontier", "Extension: Frontier GPU with projected ROC_SHMEM", ExtFrontierGPU},
-		{"ext-notified", "Extension: notified access (hardware put-with-signal)", ExtNotified},
+		{ID: "tableI", Title: "Evaluation platforms (Table I / Table III)", Run: func(*Env) (*Output, error) { return TableI() }},
+		{ID: "fig1", Title: "Message Roofline overview on Frontier (Fig 1)", Run: Fig1, Sweeps: fig1Sweeps},
+		{ID: "fig2", Title: "Node architectures (Fig 2)", Run: func(*Env) (*Output, error) { return Fig2() }},
+		{ID: "fig3", Title: "Two-sided vs one-sided MPI bandwidth on CPUs (Fig 3)", Run: Fig3, Sweeps: fig3Sweeps},
+		{ID: "fig4", Title: "GPU-initiated put-with-signal and CAS (Fig 4)", Run: Fig4, Sweeps: fig4Sweeps},
+		{ID: "tableII", Title: "Workload characterization (Table II)", Run: TableII},
+		{ID: "fig5", Title: "Stencil time on CPUs and GPUs (Fig 5)", Run: Fig5},
+		{ID: "fig6", Title: "Workload communication bounds on Perlmutter CPU (Fig 6)", Run: Fig6},
+		{ID: "fig7", Title: "Messaging latency vs msg/sync per workload (Fig 7)", Run: Fig7},
+		{ID: "fig8", Title: "SpTRSV time on CPUs and GPUs (Fig 8)", Run: Fig8},
+		{ID: "fig9", Title: "Distributed hashtable time (Fig 9)", Run: Fig9},
+		{ID: "fig10", Title: "Message splitting speedup on Perlmutter GPU (Fig 10)", Run: Fig10},
+		{ID: "ext-ccl", Title: "Extension: NCCL-style ring collectives (paper future work)", Run: ExtCCL},
+		{ID: "ext-frontier", Title: "Extension: Frontier GPU with projected ROC_SHMEM", Run: ExtFrontierGPU, Sweeps: extFrontierSweeps},
+		{ID: "ext-notified", Title: "Extension: notified access (hardware put-with-signal)", Run: ExtNotified},
 	}
 }
 
@@ -96,6 +122,96 @@ func Get(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("experiments: unknown id %q", id)
 }
 
+// PlanStats summarizes the dedup planner's view of a suite: how many
+// sweep points the figures declared, how much of that is redundant,
+// and what the planner actually simulated up front.
+type PlanStats struct {
+	// Figures counts experiments that declared sweeps.
+	Figures int
+	// Points is the total declared point count across all figures.
+	Points int
+	// Unique is the number of distinct content addresses among them.
+	Unique int
+	// Duplicates = Points - Unique: simulations the plan avoids.
+	Duplicates int
+	// CrossFigure counts duplicates spanning two figures (a point
+	// unique within its own figure but declared by another as well) —
+	// the overlap that per-sweep caching alone would still simulate
+	// once per figure on a cold cache.
+	CrossFigure int
+	// Simulated is how many unique points the planner ran (cache
+	// misses); Reused is how many the cache already held (warm disk).
+	Simulated int
+	Reused    int
+}
+
+func (p PlanStats) String() string {
+	return fmt.Sprintf("%d figures declared %d points, %d unique (%d duplicate, %d cross-figure); planner simulated %d, reused %d",
+		p.Figures, p.Points, p.Unique, p.Duplicates, p.CrossFigure, p.Simulated, p.Reused)
+}
+
+// plan expands every experiment's declared sweeps, dedups the points
+// by content address, and — when a cache is available — simulates each
+// unique point exactly once on up to `jobs` workers, seeding the cache
+// so the figures' own sweeps hit instead of re-simulating. With a warm
+// disk cache already-known points are reused, not re-run. Without a
+// cache the plan is census-only: the figures behave exactly as before.
+func plan(exps []Experiment, scale Scale, jobs int, cache *pointcache.Cache) (PlanStats, error) {
+	var ps PlanStats
+	var miss []bench.PointSpec
+	seen := map[pointcache.Key]bool{}
+	for _, e := range exps {
+		if e.Sweeps == nil {
+			continue
+		}
+		ps.Figures++
+		inFig := map[pointcache.Key]bool{}
+		for _, req := range e.Sweeps(scale) {
+			cfg, err := getMachine(req.Machine)
+			if err != nil {
+				return ps, fmt.Errorf("experiments: %s declares unknown machine: %w", e.ID, err)
+			}
+			for _, pt := range bench.ExpandPoints(cfg, req.Spec) {
+				k := pt.Key()
+				ps.Points++
+				if seen[k] {
+					if !inFig[k] {
+						ps.CrossFigure++
+					}
+					inFig[k] = true
+					continue
+				}
+				seen[k] = true
+				inFig[k] = true
+				ps.Unique++
+				if cache.Enabled() {
+					if _, _, ok := cache.Get(k); ok {
+						ps.Reused++
+					} else {
+						miss = append(miss, pt)
+					}
+				}
+			}
+		}
+	}
+	ps.Duplicates = ps.Points - ps.Unique
+	if len(miss) == 0 {
+		return ps, nil
+	}
+	_, _, err := sched.Map(jobs, len(miss), func(i int) (struct{}, error) {
+		p, err := bench.MeasurePoint(miss[i])
+		if err == nil {
+			cache.Put(miss[i].Key(), p.Elapsed)
+		}
+		return struct{}{}, err
+	})
+	if err != nil {
+		return ps, fmt.Errorf("experiments: planner presimulation failed: %w", err)
+	}
+	ps.Simulated = len(miss)
+	return ps, nil
+}
+
 // RunAll regenerates the given experiments on up to `jobs` concurrent
 // workers (jobs <= 0 selects GOMAXPROCS) and returns their outputs in
 // the order they were given — registry order for Registry() — so the
@@ -104,18 +220,39 @@ func Get(id string) (Experiment, error) {
 // first failure no further experiments start, and every failure is
 // aggregated into the returned error. The returned sched.Stats hold
 // per-experiment wall times for reporting.
+//
+// RunAll runs without a cache; RunAllCached adds memoization and the
+// dedup planner on top of the identical output.
 func RunAll(exps []Experiment, scale Scale, jobs int) ([]*Output, *sched.Stats, error) {
+	outs, stats, _, err := RunAllCached(exps, scale, jobs, nil)
+	return outs, stats, err
+}
+
+// RunAllCached is RunAll with a shared point cache: the dedup planner
+// first collects every declared sweep, computes the union of unique
+// points, and simulates each exactly once (fanned out over `jobs`
+// workers) to seed the cache; the figures then run as usual and hit.
+// Cross-figure overlap is therefore simulated once even on a cold
+// cache, and a warm disk cache skips straight to materializing the
+// figures. A nil cache degrades to plain RunAll plus a census-only
+// PlanStats. Output is byte-identical in all cases.
+func RunAllCached(exps []Experiment, scale Scale, jobs int, cache *pointcache.Cache) ([]*Output, *sched.Stats, PlanStats, error) {
+	ps, err := plan(exps, scale, jobs, cache)
+	if err != nil {
+		return nil, nil, ps, err
+	}
+	env := &Env{Scale: scale, Cache: cache}
 	outs, stats, err := sched.Map(jobs, len(exps), func(i int) (*Output, error) {
-		out, err := exps[i].Run(scale)
+		out, err := exps[i].Run(env)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s failed: %w", exps[i].ID, err)
 		}
 		return out, nil
 	})
 	if err != nil {
-		return nil, stats, err
+		return nil, stats, ps, err
 	}
-	return outs, stats, nil
+	return outs, stats, ps, nil
 }
 
 // helpers -------------------------------------------------------------------

@@ -34,7 +34,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 	for _, e := range Registry() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			out, err := e.Run(Quick)
+			out, err := e.Run(&Env{Scale: Quick})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -16,9 +16,9 @@ import (
 
 // ExtCCL runs NCCL/RCCL-style ring allreduce across the GPU machines
 // — the paper's named future work (§V).
-func ExtCCL(s Scale) (*Output, error) {
+func ExtCCL(env *Env) (*Output, error) {
 	sizes := []int{1 << 10, 1 << 14, 1 << 17}
-	if s == Full {
+	if env.Scale == Full {
 		sizes = append(sizes, 1<<20)
 	}
 	t := table.New("Extension — ring AllReduce (NCCL-style) on GPU machines",
@@ -77,15 +77,23 @@ func ExtCCL(s Scale) (*Output, error) {
 	}, nil
 }
 
+// extFrontierSweeps declares ExtFrontierGPU's bench sweep for the
+// dedup planner.
+func extFrontierSweeps(s Scale) []SweepReq {
+	ns, sizes := sweepDims(s)
+	return []SweepReq{{Machine: "frontier-gpu", Spec: bench.Spec{Transport: bench.ShmemPutSignal, Ns: ns, Sizes: sizes}}}
+}
+
 // ExtFrontierGPU runs the paper's GPU experiments on the Frontier GPU
 // extension platform (projected ROC_SHMEM parameters).
-func ExtFrontierGPU(s Scale) (*Output, error) {
+func ExtFrontierGPU(env *Env) (*Output, error) {
+	s := env.Scale
 	cfg, err := getMachine("frontier-gpu")
 	if err != nil {
 		return nil, err
 	}
 	ns, sizes := sweepDims(s)
-	res, err := bench.Sweep(cfg, bench.Spec{Transport: bench.ShmemPutSignal, Ns: ns, Sizes: sizes})
+	res, err := bench.Sweep(cfg, bench.Spec{Transport: bench.ShmemPutSignal, Ns: ns, Sizes: sizes, Cache: env.Cache})
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +102,7 @@ func ExtFrontierGPU(s Scale) (*Output, error) {
 	p1, _ := res.At(ns[0], sizes[0])
 	t.AddRow("put-with-signal latency", fmt.Sprintf("%.2f us", p1.Elapsed.Microseconds()),
 		"NVSHMEM: 3.9 (Perlmutter) / 4.8 (Summit)")
-	cas, err := bench.CASLatency(cfg, 4, 1, 32)
+	cas, err := bench.CASLatencyCached(env.Cache, cfg, 4, 1, 32)
 	if err != nil {
 		return nil, err
 	}
@@ -139,7 +147,8 @@ func ExtFrontierGPU(s Scale) (*Output, error) {
 // hardware-level put-with-signal ("notified access"), one-sided MPI
 // outperforms two-sided on the latency-bound SpTRSV — the cited foMPI
 // result is 1.5x (Liu et al., §V).
-func ExtNotified(s Scale) (*Output, error) {
+func ExtNotified(env *Env) (*Output, error) {
+	s := env.Scale
 	// The comparison only bites where communication dominates, so the
 	// headline table uses a latency-bound matrix (shallow compute per
 	// DAG level); the full M3D-C1-scale factor is shown for context —

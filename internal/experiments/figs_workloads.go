@@ -49,7 +49,7 @@ func stencilScale(s Scale) (grid, iters int, note string) {
 
 // TableII reports the workload characterization, with msg/sync and
 // message sizes measured from traced runs.
-func TableII(s Scale) (*Output, error) {
+func TableII(*Env) (*Output, error) {
 	t := table.New("Workload characterization (Table II)",
 		"Workload", "Pattern", "Notify", "P2P pair", "Msg/sync (paper)", "Msg/sync (measured)", "Bytes/msg (measured)")
 	pm, err := getMachine("perlmutter-cpu")
@@ -97,7 +97,8 @@ func TableII(s Scale) (*Output, error) {
 }
 
 // Fig5 reproduces stencil scaling on CPUs and GPUs.
-func Fig5(s Scale) (*Output, error) {
+func Fig5(env *Env) (*Output, error) {
+	s := env.Scale
 	grid, iters, note := stencilScale(s)
 	cpuRanks := []int{4, 8, 16, 32, 64, 128}
 	if s == Quick {
@@ -186,7 +187,8 @@ func Fig5(s Scale) (*Output, error) {
 
 // Fig6 places the three workloads' message-size ranges on the
 // Perlmutter CPU Message Rooflines.
-func Fig6(s Scale) (*Output, error) {
+func Fig6(env *Env) (*Output, error) {
+	s := env.Scale
 	pm, err := getMachine("perlmutter-cpu")
 	if err != nil {
 		return nil, err
@@ -250,7 +252,7 @@ func Fig6(s Scale) (*Output, error) {
 // Roofline: more messages per synchronization hide more latency, so
 // the hashtable (1e6 msg/sync) pays the least and SpTRSV (1 msg/sync)
 // the most.
-func Fig7(s Scale) (*Output, error) {
+func Fig7(*Env) (*Output, error) {
 	pg, err := getMachine("perlmutter-gpu")
 	if err != nil {
 		return nil, err
@@ -306,7 +308,8 @@ func Fig7(s Scale) (*Output, error) {
 }
 
 // Fig8 reproduces SpTRSV scaling on CPUs and GPUs.
-func Fig8(s Scale) (*Output, error) {
+func Fig8(env *Env) (*Output, error) {
+	s := env.Scale
 	mat, matNote, err := matrixFor(s)
 	if err != nil {
 		return nil, err
@@ -400,7 +403,8 @@ func Fig8(s Scale) (*Output, error) {
 }
 
 // Fig9 reproduces the distributed hashtable comparison.
-func Fig9(s Scale) (*Output, error) {
+func Fig9(env *Env) (*Output, error) {
+	s := env.Scale
 	pm, err := getMachine("perlmutter-cpu")
 	if err != nil {
 		return nil, err

@@ -6,13 +6,15 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"msgroofline/internal/pointcache"
 )
 
 func fakeExperiment(id string, delay time.Duration, fail error) Experiment {
 	return Experiment{
 		ID:    id,
 		Title: "fake " + id,
-		Run: func(Scale) (*Output, error) {
+		Run: func(*Env) (*Output, error) {
 			time.Sleep(delay)
 			if fail != nil {
 				return nil, fail
@@ -93,13 +95,86 @@ func TestRunAllMatchesSequentialOutput(t *testing.T) {
 	}
 }
 
+func TestPlannerDedupsCrossFigureOverlap(t *testing.T) {
+	// Fig1's frontier-cpu one-sided sweep is one of Fig3's six sweeps:
+	// the planner must see the overlap and simulate the union once.
+	var exps []Experiment
+	for _, id := range []string{"fig1", "fig3"} {
+		e, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exps = append(exps, e)
+	}
+	cache, err := pointcache.New(pointcache.Mem, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, _, ps, err := RunAllCached(exps, Quick, 4, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perFig := len(fig1Sweeps(Quick)[0].Spec.Ns) * len(fig1Sweeps(Quick)[0].Spec.Sizes)
+	if ps.Figures != 2 || ps.Points != 7*perFig || ps.Unique != 6*perFig {
+		t.Fatalf("plan census wrong: %+v (perFig=%d)", ps, perFig)
+	}
+	if ps.Duplicates != perFig || ps.CrossFigure != perFig {
+		t.Fatalf("expected %d cross-figure duplicates: %+v", perFig, ps)
+	}
+	if ps.Simulated != ps.Unique || ps.Reused != 0 {
+		t.Fatalf("cold plan should simulate every unique point: %+v", ps)
+	}
+	// Every figure sweep must have hit the planner-seeded cache.
+	st := cache.Stats()
+	if st.Stores != int64(ps.Unique) {
+		t.Fatalf("stores = %d, want %d (figures re-simulated)", st.Stores, ps.Unique)
+	}
+	if st.Hits < int64(ps.Points) {
+		t.Fatalf("hits = %d, want >= %d declared points", st.Hits, ps.Points)
+	}
+	// And the rendered output must match the uncached run exactly.
+	plain, _, err := RunAll(exps, Quick, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range outs {
+		if outs[i].Render() != plain[i].Render() {
+			t.Fatalf("%s: cached output diverged from uncached", outs[i].ID)
+		}
+	}
+	// A second run against the same cache reuses everything.
+	_, _, warm, err := RunAllCached(exps, Quick, 4, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Simulated != 0 || warm.Reused != warm.Unique {
+		t.Fatalf("warm plan should simulate nothing: %+v", warm)
+	}
+}
+
+func TestPlannerCensusOnlyWithoutCache(t *testing.T) {
+	// With no cache the planner still counts overlap but must not
+	// presimulate anything.
+	e, err := Get("fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, ps, err := RunAllCached([]Experiment{e}, Quick, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Figures != 1 || ps.Unique == 0 || ps.Simulated != 0 || ps.Reused != 0 {
+		t.Fatalf("census-only plan wrong: %+v", ps)
+	}
+}
+
 func TestUnknownMachineIsReportedNotPanic(t *testing.T) {
 	if _, err := getMachine("no-such-machine"); err == nil {
 		t.Fatal("want error for unknown machine")
 	}
 	// Through the Experiment.Run path: a run that needs a machine the
 	// catalog lacks must surface the error, not crash the suite.
-	exp := Experiment{ID: "ghost", Title: "ghost", Run: func(Scale) (*Output, error) {
+	exp := Experiment{ID: "ghost", Title: "ghost", Run: func(*Env) (*Output, error) {
 		cfg, err := getMachine("no-such-machine")
 		if err != nil {
 			return nil, err

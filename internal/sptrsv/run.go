@@ -35,6 +35,7 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sptrsv %s: %w", cfg.Transport, err)
 	}
+	defer t.Close()
 	rate := cfg.CPUFlopRate
 	if cfg.Machine.Kind == machine.GPU {
 		rate = cfg.CPUFlopRate * cfg.GPUSparseScale

@@ -95,3 +95,48 @@ func TestNoSyncsMeansZeroMsgsPerSync(t *testing.T) {
 		t.Fatalf("msg/sync = %v, want 0 without syncs", s.MsgsPerSync)
 	}
 }
+
+func TestPoolReuseAndReset(t *testing.T) {
+	r := Get()
+	r.Record(Event{Src: 0, Dst: 1, Bytes: 64, Issue: 0, Deliver: 10})
+	r.Sync()
+	if len(r.Events()) != 1 || r.Syncs() != 1 {
+		t.Fatalf("recorder state: %d events, %d syncs", len(r.Events()), r.Syncs())
+	}
+	r.Reset()
+	if len(r.Events()) != 0 || r.Syncs() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	Release(r)
+	// A recorder from the pool must always come back empty.
+	r2 := Get()
+	if len(r2.Events()) != 0 || r2.Syncs() != 0 {
+		t.Fatalf("pooled recorder not empty: %d events, %d syncs", len(r2.Events()), r2.Syncs())
+	}
+	Release(r2)
+	// Releasing nil is a safe no-op (transports without a tap).
+	Release(nil)
+}
+
+// BenchmarkTraceSteadyStateRecord is the CI-gated allocation budget of
+// the tracing tap: once the pooled event buffer has grown to the run's
+// message count, a full acquire/record/sync/release cycle — what every
+// traced simulation adds over an untraced one — must allocate nothing.
+func BenchmarkTraceSteadyStateRecord(b *testing.B) {
+	const msgs = 1024
+	warm := Get()
+	for i := 0; i < msgs; i++ {
+		warm.Record(Event{Src: 0, Dst: 1, Bytes: 64, Issue: sim.Time(i), Deliver: sim.Time(i + 5)})
+	}
+	Release(warm)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := Get()
+		for j := 0; j < msgs; j++ {
+			r.Record(Event{Src: 0, Dst: 1, Bytes: 64, Issue: sim.Time(j), Deliver: sim.Time(j + 5)})
+		}
+		r.Sync()
+		Release(r)
+	}
+}

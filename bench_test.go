@@ -43,7 +43,7 @@ func mc(b *testing.B, name string) *machine.Config {
 // suite through the concurrent scheduler (the cmd/experiments path).
 func BenchmarkSuiteQuick(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, _, err := experiments.RunAll(experiments.Registry(), experiments.Quick, sweepJobs); err != nil {
+		if _, _, _, err := experiments.RunSuite(experiments.Registry(), experiments.SuiteOptions{Scale: experiments.Quick, Jobs: sweepJobs}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -437,10 +437,31 @@ type suiteWallRecord struct {
 	CrossFigure int     `json:"plan_cross_figure_duplicates"`
 }
 
+// shardedPerfRecord is one "sharded-perf/v1" measurement: throughput
+// of the 10^5-rank PHOLD workload on the sharded engine at one shard
+// count. On a multi-core runner events/sec across shard counts shows
+// the speedup directly; on a single-core runner it cannot, so the
+// busy/wall ratio is recorded alongside — it approaches 1 from below
+// when the shards keep the core saturated, and the gap is barrier
+// and scheduling overhead (see sim.ShardedEngine.BusyWall).
+type shardedPerfRecord struct {
+	Record       string  `json:"record"` // always "sharded-perf/v1"
+	Label        string  `json:"label"`
+	Date         string  `json:"date"`
+	Ranks        int     `json:"ranks"`
+	Shards       int     `json:"shards"`
+	Cores        int     `json:"cores"` // runtime.NumCPU on the runner
+	Events       int64   `json:"events"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	BusyWall     float64 `json:"busy_wall"`
+}
+
 type simPerfFile struct {
-	Schema    string            `json:"schema"`
-	Records   []simPerfRecord   `json:"records"`
-	SuiteWall []suiteWallRecord `json:"suite_wall,omitempty"`
+	Schema    string              `json:"schema"`
+	Records   []simPerfRecord     `json:"records"`
+	SuiteWall []suiteWallRecord   `json:"suite_wall,omitempty"`
+	Sharded   []shardedPerfRecord `json:"sharded,omitempty"`
 }
 
 const simPerfPath = "BENCH_sim.json"
@@ -463,7 +484,7 @@ func TestRecordSuiteWall(t *testing.T) {
 	var recs []suiteWallRecord
 	run := func(name string, cache *pointcache.Cache) {
 		start := time.Now()
-		_, _, ps, err := experiments.RunAllCached(experiments.Registry(), experiments.Quick, sweepJobs, cache)
+		_, _, ps, err := experiments.RunSuite(experiments.Registry(), experiments.SuiteOptions{Scale: experiments.Quick, Jobs: sweepJobs, Cache: cache})
 		wall := time.Since(start)
 		if err != nil {
 			t.Fatal(err)
@@ -507,6 +528,69 @@ func TestRecordSuiteWall(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("appended %d suite-wall records to %s", len(recs), simPerfPath)
+}
+
+// TestRecordShardedPerf appends sharded-perf/v1 records to
+// BENCH_sim.json:
+//
+//	BENCH_SHARDED_RECORD=<label> go test -run TestRecordShardedPerf .
+//
+// It runs the 10^5-rank PHOLD workload (simbench.ShardedPhold) at
+// shards 1, 2, and 4 and records events/sec together with the
+// busy/wall ratio, which is the honest efficiency figure on runners
+// without enough cores to show a wall-clock speedup.
+func TestRecordShardedPerf(t *testing.T) {
+	label := os.Getenv("BENCH_SHARDED_RECORD")
+	if label == "" {
+		t.Skip("set BENCH_SHARDED_RECORD=<label> to append sharded engine throughput to BENCH_sim.json")
+	}
+	const (
+		ranks  = 100000
+		events = 2000000
+		seed   = 1
+	)
+	date := time.Now().UTC().Format("2006-01-02")
+	var recs []shardedPerfRecord
+	for _, shards := range []int{1, 2, 4} {
+		eng, err := simbench.NewShardedPhold(ranks, shards, events, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		wall := time.Since(start)
+		executed := eng.Executed()
+		nsPerEvent := float64(wall.Nanoseconds()) / float64(executed)
+		r := shardedPerfRecord{
+			Record: "sharded-perf/v1", Label: label, Date: date,
+			Ranks: ranks, Shards: shards, Cores: runtime.NumCPU(),
+			Events:       executed,
+			NsPerEvent:   nsPerEvent,
+			EventsPerSec: 1e9 / nsPerEvent,
+			BusyWall:     eng.BusyWall(wall),
+		}
+		recs = append(recs, r)
+		t.Logf("shards=%d: %d events, %.1f ns/event, %.2fM events/sec, busy/wall %.2f",
+			shards, executed, nsPerEvent, r.EventsPerSec/1e6, r.BusyWall)
+	}
+	var f simPerfFile
+	if data, err := os.ReadFile(simPerfPath); err == nil && len(data) > 0 {
+		if err := json.Unmarshal(data, &f); err != nil {
+			t.Fatalf("parse %s: %v", simPerfPath, err)
+		}
+	}
+	f.Schema = "sim-engine-perf/v1"
+	f.Sharded = append(f.Sharded, recs...)
+	out, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(simPerfPath, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("appended %d sharded-perf records to %s", len(recs), simPerfPath)
 }
 
 func TestRecordSimPerfTrajectory(t *testing.T) {

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	experiments [-scale quick|full] [-only fig3,fig9] [-jobs N] [-csv DIR] [-list]
-//	            [-cache off|mem|disk] [-cache-dir DIR]
+//	            [-shards N] [-cache off|mem|disk] [-cache-dir DIR]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Experiments run concurrently on up to -jobs workers (default: the
@@ -13,6 +13,12 @@
 // byte-identical at any -jobs value. Wall-time reporting goes to
 // stderr. With -csv DIR each experiment's series are written to
 // DIR/<id>.csv.
+//
+// -shards records the engine shard count on every simulated world.
+// The coupled communication stacks execute sequentially at every
+// value, so stdout is byte-identical at any -shards setting (the CI
+// shard-determinism job compares -shards 1 and -shards 4 against the
+// committed golden byte for byte).
 //
 // -cache memoizes every simulated sweep point, CAS latency, and split
 // run by content address (internal/pointcache): "mem" (the default)
@@ -30,58 +36,28 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
-	"runtime/pprof"
 	"strings"
 	"time"
 
+	"msgroofline/internal/cliflags"
 	"msgroofline/internal/experiments"
 	"msgroofline/internal/plot"
-	"msgroofline/internal/pointcache"
 )
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
-	jobs := flag.Int("jobs", runtime.NumCPU(), "number of experiments regenerated concurrently")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV series")
 	list := flag.Bool("list", false, "list experiment ids and exit")
-	cacheFlag := flag.String("cache", "mem", "point-cache mode: off, mem or disk")
-	cacheDir := flag.String("cache-dir", filepath.Join(os.TempDir(), "msgroofline-pointcache"),
-		"entry directory for -cache=disk")
-	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	common := cliflags.Register(flag.CommandLine, "experiments", "mem")
 	flag.Parse()
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
+	stop, err := common.StartProfiles()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	if *memProfile != "" {
-		defer func() {
-			f, err := os.Create(*memProfile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-			}
-		}()
-	}
+	defer stop()
 
 	if *list {
 		for _, e := range experiments.Registry() {
@@ -118,17 +94,14 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	mode, err := pointcache.ParseMode(*cacheFlag)
+	cache, err := common.OpenCache()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(2)
-	}
-	cache, err := pointcache.New(mode, *cacheDir)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	outs, stats, planStats, err := experiments.RunAllCached(selected, scale, *jobs, cache)
+	outs, stats, planStats, err := experiments.RunSuite(selected, experiments.SuiteOptions{
+		Scale: scale, Jobs: common.Jobs, Shards: common.Shards, Cache: cache,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -153,9 +126,7 @@ func main() {
 			fmt.Printf("wrote %s\n\n", path)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "suite: %s\n", stats)
+	common.ReportSched("suite", stats)
 	fmt.Fprintf(os.Stderr, "plan: %s\n", planStats)
-	if cache.Enabled() {
-		fmt.Fprintf(os.Stderr, "cache (%s): %s\n", *cacheFlag, cache.Stats())
-	}
+	common.ReportCache(cache)
 }

@@ -11,6 +11,7 @@ import (
 	"os"
 	"strconv"
 
+	"msgroofline/internal/cliflags"
 	"msgroofline/internal/comm"
 	"msgroofline/internal/hashtable"
 	"msgroofline/internal/machine"
@@ -21,7 +22,17 @@ func main() {
 	variant := flag.String("variant", "one-sided", "one-sided, two-sided, notified, or shmem (alias: gpu)")
 	ranks := flag.Int("ranks", 4, "MPI ranks / GPU PEs")
 	blocks := flag.Int("blocks", 0, "GPU thread-block concurrency (gpu variant)")
+	common := cliflags.Register(flag.CommandLine, "hashtable", "off")
 	flag.Parse()
+
+	stop, err := common.StartProfiles()
+	if err != nil {
+		fatal(err)
+	}
+	defer stop()
+	if _, err := common.OpenCache(); err != nil {
+		fatal(err)
+	}
 
 	perProcess := 2500
 	if args := flag.Args(); len(args) == 1 {
@@ -48,6 +59,7 @@ func main() {
 		Ranks:        *ranks,
 		TotalInserts: perProcess * *ranks,
 		Blocks:       *blocks,
+		Shards:       common.Shards,
 	}
 	res, err := hashtable.Run(cfg)
 	if err != nil {

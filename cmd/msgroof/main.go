@@ -12,7 +12,9 @@
 //
 // Sweep points are independent simulations and run concurrently on up
 // to -jobs workers (default: the number of CPUs); output is
-// byte-identical at any -jobs value.
+// byte-identical at any -jobs value. -shards records the engine shard
+// count on every simulated world and likewise never changes output
+// (see internal/cliflags).
 //
 // -cache memoizes every simulated point by content address
 // (internal/pointcache): "mem" dedups within one invocation, "disk"
@@ -26,12 +28,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
-	"runtime"
-	"runtime/pprof"
 	"strings"
 
 	"msgroofline/internal/bench"
+	"msgroofline/internal/cliflags"
 	"msgroofline/internal/core"
 	"msgroofline/internal/loggp"
 	"msgroofline/internal/machine"
@@ -43,59 +43,28 @@ import (
 func main() {
 	mName := flag.String("machine", "perlmutter-cpu", "machine: "+strings.Join(machine.Names(), ", "))
 	tName := flag.String("transport", "two-sided", "transport: two-sided, one-sided, one-sided-strict, gpu-shmem")
-	jobs := flag.Int("jobs", runtime.NumCPU(), "number of sweep points simulated concurrently")
 	split := flag.Bool("split", false, "run the Fig-10 message-splitting experiment instead of a sweep")
 	csvPath := flag.String("csv", "", "write measured series to this CSV file")
-	cacheFlag := flag.String("cache", "off", "point-cache mode: off, mem or disk")
-	cacheDir := flag.String("cache-dir", filepath.Join(os.TempDir(), "msgroofline-pointcache"),
-		"entry directory for -cache=disk")
-	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	common := cliflags.Register(flag.CommandLine, "msgroof", "off")
 	flag.Parse()
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fatal(err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
+	stop, err := common.StartProfiles()
+	if err != nil {
+		fatal(err)
 	}
-	if *memProfile != "" {
-		defer func() {
-			f, err := os.Create(*memProfile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "msgroof:", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "msgroof:", err)
-			}
-		}()
-	}
+	defer stop()
 
 	cfg, err := machine.Get(*mName)
 	if err != nil {
 		fatal(err)
 	}
-	mode, err := pointcache.ParseMode(*cacheFlag)
-	if err != nil {
-		fatal(err)
-	}
-	cache, err := pointcache.New(mode, *cacheDir)
+	cache, err := common.OpenCache()
 	if err != nil {
 		fatal(err)
 	}
 	if *split {
 		runSplit(cfg, cache, *csvPath)
-		reportCache(cache, *cacheFlag)
+		common.ReportCache(cache)
 		return
 	}
 	ns := bench.DefaultNs()
@@ -104,7 +73,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := bench.Sweep(cfg, bench.Spec{Transport: transport, Ns: ns, Sizes: sizes, Jobs: *jobs, Cache: cache})
+	res, err := bench.Sweep(cfg, bench.Spec{Transport: transport, Ns: ns, Sizes: sizes,
+		Jobs: common.Jobs, Cache: cache, Shards: common.Shards})
 	if err != nil {
 		fatal(err)
 	}
@@ -136,16 +106,9 @@ func main() {
 	fmt.Println(chart.Render())
 	fmt.Printf("fitted %v  (RMS rel. err %.3f)\n", model.Params, loggp.FitError(model.Params, res.Samples()))
 	fmt.Printf("peak measured %.2f GB/s of %.0f GB/s theoretical\n", res.MaxGBs(), cfg.TheoreticalGBs)
-	fmt.Fprintf(os.Stderr, "sweep: %s\n", res.Sched.Host)
-	reportCache(cache, *cacheFlag)
+	common.ReportSched("sweep", res.Sched.Host)
+	common.ReportCache(cache)
 	writeCSV(*csvPath, res.Series())
-}
-
-// reportCache prints the hit-rate summary to stderr when caching is on.
-func reportCache(cache *pointcache.Cache, mode string) {
-	if cache.Enabled() {
-		fmt.Fprintf(os.Stderr, "cache (%s): %s\n", mode, cache.Stats())
-	}
 }
 
 func runSplit(cfg *machine.Config, cache *pointcache.Cache, csvPath string) {

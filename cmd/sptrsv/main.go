@@ -12,6 +12,7 @@ import (
 	"math"
 	"os"
 
+	"msgroofline/internal/cliflags"
 	"msgroofline/internal/comm"
 	"msgroofline/internal/machine"
 	"msgroofline/internal/spmat"
@@ -25,7 +26,17 @@ func main() {
 	full := flag.Bool("full", false, "use the full M3D-C1-like factor (default: quick-scale)")
 	seed := flag.Int64("seed", 20230901, "matrix generator seed")
 	showMatrix := flag.Bool("matrix", false, "print the traffic heat map and hotspot pairs")
+	common := cliflags.Register(flag.CommandLine, "sptrsv", "off")
 	flag.Parse()
+
+	stop, err := common.StartProfiles()
+	if err != nil {
+		fatal(err)
+	}
+	defer stop()
+	if _, err := common.OpenCache(); err != nil {
+		fatal(err)
+	}
 
 	params := spmat.Params{N: 2400, MeanSnode: 24, Fill: 1.0, Seed: *seed}
 	if *full {
@@ -44,7 +55,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := sptrsv.Run(sptrsv.Config{Machine: cfg, Transport: kind, Matrix: m, Ranks: *ranks})
+	res, err := sptrsv.Run(sptrsv.Config{Machine: cfg, Transport: kind, Matrix: m, Ranks: *ranks, Shards: common.Shards})
 	if err != nil {
 		fatal(err)
 	}

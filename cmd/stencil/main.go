@@ -11,6 +11,7 @@ import (
 	"os"
 	"strconv"
 
+	"msgroofline/internal/cliflags"
 	"msgroofline/internal/comm"
 	"msgroofline/internal/machine"
 	"msgroofline/internal/stencil"
@@ -21,7 +22,17 @@ func main() {
 	variant := flag.String("variant", "two-sided", "two-sided, one-sided, notified, or shmem (alias: gpu)")
 	verify := flag.Bool("verify", false, "carry real grid data and check against the serial reference (small grids)")
 	showMatrix := flag.Bool("matrix", false, "print the halo traffic heat map")
+	common := cliflags.Register(flag.CommandLine, "stencil", "off")
 	flag.Parse()
+
+	stop, err := common.StartProfiles()
+	if err != nil {
+		fatal(err)
+	}
+	defer stop()
+	if _, err := common.OpenCache(); err != nil {
+		fatal(err)
+	}
 
 	args := flag.Args()
 	if len(args) != 5 {
@@ -45,6 +56,7 @@ func main() {
 	res, err := stencil.Run(stencil.Config{
 		Machine: cfg, Transport: kind,
 		Grid: grid, Iters: iters, PX: px, PY: py, Verify: *verify,
+		Shards: common.Shards,
 	})
 	if err != nil {
 		fatal(err)

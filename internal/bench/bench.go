@@ -67,11 +67,6 @@ type RunStats struct {
 	// simulated payload volume the hits saved. All zero when the sweep
 	// ran without a cache.
 	Cache pointcache.Stats
-
-	// Deprecated: the embedded stats alias Host so pre-split field
-	// consumers (Sched.Jobs, Sched.Wall, Sched.JobWall, ...) keep
-	// working through one release; use Host explicitly.
-	*sched.Stats
 }
 
 type pointKey struct {
@@ -153,6 +148,12 @@ type Spec struct {
 	// sweep result is byte-identical at any cache mode. Nil disables
 	// caching.
 	Cache *pointcache.Cache
+	// Shards is the engine shard count recorded on each point's
+	// simulated world (0 means 1). The coupled stacks execute on the
+	// sequential engine regardless, so points are byte-identical at
+	// every value — which is also why Shards is deliberately absent
+	// from the pointcache key (PointSpec.Key).
+	Shards int
 }
 
 func (s Spec) withDefaults() Spec {
@@ -183,6 +184,11 @@ type PointSpec struct {
 	Ranks int
 	N     int
 	Bytes int64
+	// Shards is the engine shard count recorded on the point's world.
+	// It can never change the simulated outcome (the coupled stacks
+	// run sequentially at any value), so Key deliberately excludes it:
+	// a point cached at -shards 1 is a valid hit at -shards 4.
+	Shards int
 }
 
 // Key is the point's content address in the pointcache.
@@ -206,7 +212,7 @@ func MeasurePoint(ps PointSpec) (Point, error) {
 	if ps.Ranks < 2 {
 		return Point{}, fmt.Errorf("bench: point needs at least 2 ranks, got %d", ps.Ranks)
 	}
-	return measure(ps.Machine, ps.Transport, ps.Ranks, ps.N, ps.Bytes)
+	return measure(ps.Machine, ps.Transport, ps.Ranks, ps.N, ps.Bytes, ps.Shards)
 }
 
 // ExpandPoints enumerates the spec's (n, size) grid on cfg in sweep
@@ -217,7 +223,8 @@ func ExpandPoints(cfg *machine.Config, spec Spec) []PointSpec {
 	out := make([]PointSpec, 0, len(spec.Ns)*len(spec.Sizes))
 	for _, n := range spec.Ns {
 		for _, b := range spec.Sizes {
-			out = append(out, PointSpec{Machine: cfg, Transport: spec.Transport, Ranks: spec.Ranks, N: n, Bytes: b})
+			out = append(out, PointSpec{Machine: cfg, Transport: spec.Transport,
+				Ranks: spec.Ranks, N: n, Bytes: b, Shards: spec.Shards})
 		}
 	}
 	return out
@@ -266,7 +273,7 @@ func Sweep(cfg *machine.Config, spec Spec) (*Result, error) {
 	}
 	measured, stats, err := sched.Map(spec.Jobs, len(miss), func(j int) (Point, error) {
 		ps := grid[miss[j]]
-		p, err := measure(cfg, ps.Transport, ps.Ranks, ps.N, ps.Bytes)
+		p, err := measure(cfg, ps.Transport, ps.Ranks, ps.N, ps.Bytes, ps.Shards)
 		if err == nil {
 			spec.Cache.Put(ps.Key(), p.Elapsed)
 		}
@@ -285,21 +292,21 @@ func Sweep(cfg *machine.Config, spec Spec) (*Result, error) {
 		Machine:   cfg.Name,
 		Transport: spec.Transport.String(),
 		Points:    points,
-		Sched:     &RunStats{Host: stats, Cache: cs, Stats: stats},
+		Sched:     &RunStats{Host: stats, Cache: cs},
 	}, nil
 }
 
 // measure runs the single simulation behind one sweep point.
-func measure(cfg *machine.Config, t Transport, ranks, n int, b int64) (Point, error) {
+func measure(cfg *machine.Config, t Transport, ranks, n int, b int64, shards int) (Point, error) {
 	switch t {
 	case TwoSided:
-		return measureTwoSided(cfg, ranks, n, b)
+		return measureTwoSided(cfg, ranks, n, b, shards)
 	case OneSided:
-		return measureOneSided(cfg, ranks, n, b, false)
+		return measureOneSided(cfg, ranks, n, b, shards, false)
 	case OneSidedStrict:
-		return measureOneSided(cfg, ranks, n, b, true)
+		return measureOneSided(cfg, ranks, n, b, shards, true)
 	case ShmemPutSignal:
-		return measureShmemPutSignal(cfg, ranks, n, b)
+		return measureShmemPutSignal(cfg, ranks, n, b, shards)
 	default:
 		return Point{}, fmt.Errorf("bench: unknown transport %v", t)
 	}
@@ -334,10 +341,10 @@ func farPair(ranks int) (int, int) { return 0, ranks - 1 }
 // posts N nonblocking receives, the sender issues N nonblocking
 // sends, and the window closes at the receiver's Waitall. Both ranks
 // synchronize on a barrier before timing.
-func measureTwoSided(cfg *machine.Config, ranks, n int, b int64) (Point, error) {
+func measureTwoSided(cfg *machine.Config, ranks, n int, b int64, shards int) (Point, error) {
 	src, dst := farPair(ranks)
 	var elapsed sim.Time
-	c, err := mpi.NewComm(cfg, ranks)
+	c, err := mpi.NewCommSharded(cfg, ranks, shards)
 	if err != nil {
 		return Point{}, err
 	}
@@ -378,10 +385,10 @@ func measureTwoSided(cfg *machine.Config, ranks, n int, b int64) (Point, error) 
 // waits for remote completion — the per-message notification protocol
 // SpTRSV must use, the 5 us/message cost of Fig 6b, and the reason
 // one-sided SpTRSV loses (§III-B).
-func measureOneSided(cfg *machine.Config, ranks, n int, b int64, strict bool) (Point, error) {
+func measureOneSided(cfg *machine.Config, ranks, n int, b int64, shards int, strict bool) (Point, error) {
 	src, dst := farPair(ranks)
 	var elapsed sim.Time
-	c, err := mpi.NewComm(cfg, ranks)
+	c, err := mpi.NewCommSharded(cfg, ranks, shards)
 	if err != nil {
 		return Point{}, err
 	}
@@ -435,11 +442,11 @@ func measureOneSided(cfg *machine.Config, ranks, n int, b int64, strict bool) (P
 // window (Fig 4): the sender PE issues N fused put+signal operations,
 // the receiver waits until all N signals land, and the window closes
 // at the receiver.
-func measureShmemPutSignal(cfg *machine.Config, npes, n int, b int64) (Point, error) {
+func measureShmemPutSignal(cfg *machine.Config, npes, n int, b int64, shards int) (Point, error) {
 	src, dst := farPair(npes)
 	var elapsed sim.Time
 	heap := int(b) + 8*n + 64
-	j, err := shmem.NewJob(cfg, npes, heap)
+	j, err := shmem.NewJobSharded(cfg, npes, heap, shards)
 	if err != nil {
 		return Point{}, err
 	}

@@ -252,7 +252,7 @@ func TestSweepDeterministicAcrossJobs(t *testing.T) {
 		if seq.Machine != par.Machine || seq.Transport != par.Transport {
 			t.Fatalf("%v: metadata diverged", c.transport)
 		}
-		if par.Sched == nil || par.Sched.Jobs != len(seq.Points) {
+		if par.Sched == nil || par.Sched.Host == nil || par.Sched.Host.Jobs != len(seq.Points) {
 			t.Fatalf("%v: missing sched stats: %+v", c.transport, par.Sched)
 		}
 	}
@@ -389,10 +389,9 @@ func TestSweepCacheHitsMatchColdRun(t *testing.T) {
 	}
 }
 
-func TestRunStatsDeprecatedAliases(t *testing.T) {
-	// Pre-split consumers read scheduler fields straight off
-	// Result.Sched; the embedded alias must keep them working and
-	// agreeing with Host.
+func TestRunStatsHostFields(t *testing.T) {
+	// v1 consumers read scheduler fields through the explicit Host
+	// split; the flat promoted aliases are gone.
 	r, err := Sweep(cfg(t, "perlmutter-cpu"), Spec{Transport: TwoSided, Ns: []int{1, 16}, Sizes: []int64{8}, Jobs: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -400,11 +399,11 @@ func TestRunStatsDeprecatedAliases(t *testing.T) {
 	if r.Sched.Host == nil {
 		t.Fatal("no host stats")
 	}
-	if r.Sched.Jobs != r.Sched.Host.Jobs || r.Sched.Wall != r.Sched.Host.Wall {
-		t.Fatalf("alias diverged from Host: %+v vs %+v", r.Sched.Stats, r.Sched.Host)
+	if r.Sched.Host.Jobs != 2 {
+		t.Fatalf("jobs = %d", r.Sched.Host.Jobs)
 	}
-	if r.Sched.Jobs != 2 {
-		t.Fatalf("jobs = %d", r.Sched.Jobs)
+	if r.Sched.Host.Wall <= 0 {
+		t.Fatalf("wall = %v", r.Sched.Host.Wall)
 	}
 }
 

@@ -1,0 +1,143 @@
+// Package cliflags unifies the flag surface of the msgroofline
+// commands. Every binary — cmd/experiments, cmd/msgroof and the
+// per-kernel cmds (cmd/stencil, cmd/sptrsv, cmd/hashtable) — registers
+// the same shared knobs with identical names, defaults and help text:
+//
+//	-jobs N            worker concurrency for multi-point commands
+//	-shards N          engine shard count recorded on simulated worlds
+//	-cache MODE        point-cache mode: off, mem or disk
+//	-cache-dir DIR     entry directory for -cache=disk
+//	-cpuprofile FILE   pprof CPU profile
+//	-memprofile FILE   pprof heap profile on exit
+//
+// Commands that run a single simulation (the per-kernel cmds) accept
+// -jobs and -cache for surface uniformity; the knobs only change how
+// the multi-point commands schedule and memoize work, never what any
+// command prints on stdout. Stderr reporting goes through ReportSched
+// and ReportCache so every binary summarizes host scheduling and
+// cache traffic in the same format.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+
+	"msgroofline/internal/pointcache"
+	"msgroofline/internal/sched"
+)
+
+// Common holds the shared flag values after parsing.
+type Common struct {
+	// Jobs caps worker concurrency for commands that schedule many
+	// independent simulations (sweep points, experiments). Output is
+	// byte-identical at any value.
+	Jobs int
+	// Shards is the engine shard count recorded on every simulated
+	// world (0 means 1). The coupled communication stacks execute
+	// sequentially at every value, so command output is byte-identical
+	// at any -shards setting; rank-confined workloads scale through
+	// sim.ShardedEngine (see DESIGN.md §11).
+	Shards int
+	// CacheMode is the raw -cache value (off, mem or disk).
+	CacheMode string
+	// CacheDir is the entry directory for -cache=disk.
+	CacheDir string
+	// CPUProfile and MemProfile are pprof output paths ("" disables).
+	CPUProfile string
+	MemProfile string
+
+	prog    string
+	cpuFile *os.File
+}
+
+// Register installs the shared flags on fs. prog names the command in
+// error and summary output; defaultCache preserves each command's
+// historical cache default ("mem" for experiments, "off" elsewhere).
+// Call after flag definitions specific to the command, before
+// fs.Parse.
+func Register(fs *flag.FlagSet, prog, defaultCache string) *Common {
+	c := &Common{prog: prog}
+	fs.IntVar(&c.Jobs, "jobs", runtime.NumCPU(),
+		"number of independent simulations run concurrently (output is byte-identical at any value)")
+	fs.IntVar(&c.Shards, "shards", 1,
+		"engine shard count recorded on simulated worlds (output is byte-identical at any value)")
+	fs.StringVar(&c.CacheMode, "cache", defaultCache, "point-cache mode: off, mem or disk")
+	fs.StringVar(&c.CacheDir, "cache-dir", filepath.Join(os.TempDir(), "msgroofline-pointcache"),
+		"entry directory for -cache=disk")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile to this file on exit")
+	return c
+}
+
+// StartProfiles begins the CPU profile when -cpuprofile was given.
+// The returned stop function ends the CPU profile and writes the heap
+// profile when -memprofile was given; defer it immediately after a
+// successful call. With neither flag set it is a cheap no-op.
+func (c *Common) StartProfiles() (stop func(), err error) {
+	if c.CPUProfile != "" {
+		f, err := os.Create(c.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.prog, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%s: %w", c.prog, err)
+		}
+		c.cpuFile = f
+	}
+	return func() {
+		if c.cpuFile != nil {
+			pprof.StopCPUProfile()
+			c.cpuFile.Close()
+			c.cpuFile = nil
+		}
+		if c.MemProfile != "" {
+			f, err := os.Create(c.MemProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", c.prog, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", c.prog, err)
+			}
+		}
+	}, nil
+}
+
+// OpenCache parses -cache and opens the point cache ("off" yields a
+// disabled cache that callers can still pass around safely).
+func (c *Common) OpenCache() (*pointcache.Cache, error) {
+	mode, err := pointcache.ParseMode(c.CacheMode)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", c.prog, err)
+	}
+	cache, err := pointcache.New(mode, c.CacheDir)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", c.prog, err)
+	}
+	return cache, nil
+}
+
+// ReportSched prints the shared one-line host-scheduling summary to
+// stderr: "<label>: <stats>". It is wall-clock metadata and never
+// part of stdout.
+func (c *Common) ReportSched(label string, stats *sched.Stats) {
+	if stats == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: %s\n", label, stats)
+}
+
+// ReportCache prints the shared one-line cache hit-rate summary to
+// stderr when caching is enabled.
+func (c *Common) ReportCache(cache *pointcache.Cache) {
+	if cache.Enabled() {
+		fmt.Fprintf(os.Stderr, "cache (%s): %s\n", c.CacheMode, cache.Stats())
+	}
+}

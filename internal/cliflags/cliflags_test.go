@@ -1,0 +1,98 @@
+package cliflags
+
+import (
+	"flag"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+)
+
+func statFile(p string) (int64, error) {
+	fi, err := os.Stat(p)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// TestRegisterDefinesSharedSurface pins the unified flag surface:
+// every command registers exactly these shared knobs, with the same
+// names and defaults.
+func TestRegisterDefinesSharedSurface(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	c := Register(fs, "test", "off")
+	for _, name := range []string{"jobs", "shards", "cache", "cache-dir", "cpuprofile", "memprofile"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("flag -%s not registered", name)
+		}
+	}
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Jobs != runtime.NumCPU() {
+		t.Errorf("default -jobs = %d, want NumCPU", c.Jobs)
+	}
+	if c.Shards != 1 {
+		t.Errorf("default -shards = %d, want 1", c.Shards)
+	}
+	if c.CacheMode != "off" {
+		t.Errorf("default -cache = %q, want the command's historical default", c.CacheMode)
+	}
+}
+
+func TestParseAndOpenCache(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	c := Register(fs, "test", "off")
+	if err := fs.Parse([]string{"-jobs", "3", "-shards", "4", "-cache", "mem"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Jobs != 3 || c.Shards != 4 {
+		t.Fatalf("parsed Jobs=%d Shards=%d", c.Jobs, c.Shards)
+	}
+	cache, err := c.OpenCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cache.Enabled() {
+		t.Fatal("mem cache should be enabled")
+	}
+	c.CacheMode = "bogus"
+	if _, err := c.OpenCache(); err == nil {
+		t.Fatal("bogus cache mode should error")
+	}
+}
+
+func TestStartProfilesNoopWithoutFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := Register(fs, "test", "off")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := c.StartProfiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop() // must be safe with neither profile requested
+}
+
+func TestStartProfilesWritesCPUProfile(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := Register(fs, "test", "off")
+	dir := t.TempDir()
+	if err := fs.Parse([]string{"-cpuprofile", dir + "/cpu.pprof", "-memprofile", dir + "/mem.pprof"}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := c.StartProfiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	for _, p := range []string{dir + "/cpu.pprof", dir + "/mem.pprof"} {
+		if fi, err := statFile(p); err != nil || fi == 0 {
+			t.Errorf("%s: size=%d err=%v", p, fi, err)
+		}
+	}
+}

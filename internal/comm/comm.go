@@ -147,6 +147,13 @@ type Spec struct {
 	// SharedBytes sizes the per-rank atomics heap.
 	SharedBytes int
 
+	// Shards is the engine shard count recorded on the world (<= 0
+	// means 1). The coupled transports always execute on the
+	// sequential engine — simulated output is byte-identical at every
+	// value — so this is placement metadata plus the -shards plumbing
+	// for the rank-confined sim.ShardedEngine path (DESIGN.md §11).
+	Shards int
+
 	// Perturb, when non-nil, installs engine schedule fuzzing
 	// (conformance harness only; nil leaves runs byte-identical).
 	Perturb *sim.Perturbation

@@ -39,7 +39,7 @@ func newRMA(spec Spec, notified bool) (*rma, error) {
 			return nil, fmt.Errorf("comm: machine %s has no notified-access transport", spec.Machine.Name)
 		}
 	}
-	c, err := mpi.NewComm(spec.Machine, spec.Ranks)
+	c, err := mpi.NewCommSharded(spec.Machine, spec.Ranks, spec.Shards)
 	if err != nil {
 		return nil, err
 	}

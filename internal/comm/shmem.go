@@ -36,7 +36,7 @@ func newShmem(spec Spec) (*shmemT, error) {
 	case spec.SharedBytes > 0:
 		heap = spec.SharedBytes
 	}
-	j, err := shmem.NewJob(spec.Machine, spec.Ranks, heap)
+	j, err := shmem.NewJobSharded(spec.Machine, spec.Ranks, heap, spec.Shards)
 	if err != nil {
 		return nil, err
 	}

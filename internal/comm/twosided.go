@@ -14,7 +14,7 @@ type twoSided struct {
 }
 
 func newTwoSided(spec Spec) (*twoSided, error) {
-	c, err := mpi.NewComm(spec.Machine, spec.Ranks)
+	c, err := mpi.NewCommSharded(spec.Machine, spec.Ranks, spec.Shards)
 	if err != nil {
 		return nil, err
 	}
@@ -26,12 +26,12 @@ func newTwoSided(spec Spec) (*twoSided, error) {
 	return t, nil
 }
 
-func (t *twoSided) Kind() Kind            { return TwoSided }
-func (t *twoSided) Caps() Caps            { return Caps{} }
-func (t *twoSided) Engine() *sim.Engine   { return t.c.Engine() }
-func (t *twoSided) Elapsed() sim.Time     { return t.c.Elapsed() }
+func (t *twoSided) Kind() Kind             { return TwoSided }
+func (t *twoSided) Caps() Caps             { return Caps{} }
+func (t *twoSided) Engine() *sim.Engine    { return t.c.Engine() }
+func (t *twoSided) Elapsed() sim.Time      { return t.c.Elapsed() }
 func (t *twoSided) SharedBytes(int) []byte { return nil }
-func (t *twoSided) AtomicCount() int64    { return 0 }
+func (t *twoSided) AtomicCount() int64     { return 0 }
 
 func (t *twoSided) Launch(body func(Endpoint)) error {
 	return t.c.Launch(func(r *mpi.Rank) { body(&tsEp{t: t, r: r}) })

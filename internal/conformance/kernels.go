@@ -34,6 +34,9 @@ const (
 type chaos struct {
 	perturb *sim.Perturbation
 	faults  *netsim.Faults
+	// shards is the engine shard count recorded on the workload's
+	// world (0 means 1); output must be invariant under it.
+	shards int
 	// unordered disables the MPI non-overtaking resequencer in the
 	// micro-kernels that build their own communicator (mutation knob).
 	unordered bool
@@ -41,10 +44,15 @@ type chaos struct {
 
 // outcome is the semantic fingerprint of one run: fp is compared
 // exactly against the reference, floats with relative tolerance
-// (accumulation order legally varies under perturbation).
+// (accumulation order legally varies under perturbation). digest is
+// the engine's event-order fingerprint; it legally varies across
+// perturbation seeds, so the reference oracles ignore it, and the
+// shard-determinism suite requires it equal across shard counts
+// under identical chaos.
 type outcome struct {
 	fp     string
 	floats []float64
+	digest uint64
 }
 
 // relTol bounds the relative drift allowed in float outcomes.
@@ -136,12 +144,13 @@ func stencilRun(transport string) func(chaos) (outcome, error) {
 			Machine:   workloadMachine(kind, "perlmutter-cpu", "perlmutter-gpu"),
 			Transport: kind,
 			Grid:      24, Iters: 3, PX: 2, PY: 2, Verify: true,
+			Shards:  ch.shards,
 			Perturb: ch.perturb, Faults: ch.faults,
 		})
 		if err != nil {
 			return outcome{}, err
 		}
-		return outcome{fp: fmt.Sprintf("checksum=%016x", math.Float64bits(res.Checksum))}, nil
+		return outcome{fp: fmt.Sprintf("checksum=%016x", math.Float64bits(res.Checksum)), digest: res.EventDigest}, nil
 	}
 }
 
@@ -158,12 +167,13 @@ func sptrsvRun(transport string) func(chaos) (outcome, error) {
 			Machine:   workloadMachine(kind, "frontier-cpu", "summit-gpu"),
 			Transport: kind,
 			Matrix:    testMatrix(), Ranks: 4,
+			Shards:  ch.shards,
 			Perturb: ch.perturb, Faults: ch.faults,
 		})
 		if err != nil {
 			return outcome{}, err
 		}
-		return outcome{floats: res.X}, nil
+		return outcome{floats: res.X, digest: res.EventDigest}, nil
 	}
 }
 
@@ -181,12 +191,13 @@ func hashtableRun(transport string) func(chaos) (outcome, error) {
 			Machine:   workloadMachine(kind, "perlmutter-cpu", "perlmutter-gpu"),
 			Transport: kind,
 			Ranks:     4, TotalInserts: 400, Blocks: 4,
+			Shards:  ch.shards,
 			Perturb: ch.perturb, Faults: ch.faults,
 		})
 		if err != nil {
 			return outcome{}, err
 		}
-		return outcome{fp: fmt.Sprintf("collisions=%d", res.Collisions)}, nil
+		return outcome{fp: fmt.Sprintf("collisions=%d", res.Collisions), digest: res.EventDigest}, nil
 	}
 }
 

@@ -61,12 +61,17 @@ func (o *Output) Render() string {
 }
 
 // Env carries the run-wide context every experiment receives: the
-// problem scale and the shared point cache (nil when caching is off).
-// The cache only decides which simulations run; it never changes what
-// any experiment outputs.
+// problem scale, the shared point cache (nil when caching is off),
+// and the engine shard count to record on every simulated world.
+// Neither the cache nor the shard count ever changes what any
+// experiment outputs: the cache only decides which simulations run,
+// and the coupled communication stacks execute sequentially at every
+// shard count (see comm.Spec.Shards), so the rendered suite is
+// byte-identical at any Shards value.
 type Env struct {
-	Scale Scale
-	Cache *pointcache.Cache
+	Scale  Scale
+	Cache  *pointcache.Cache
+	Shards int
 }
 
 // SweepReq declares one bench sweep a figure will run: the catalog
@@ -156,9 +161,10 @@ func (p PlanStats) String() string {
 // so the figures' own sweeps hit instead of re-simulating. With a warm
 // disk cache already-known points are reused, not re-run. Without a
 // cache the plan is census-only: the figures behave exactly as before.
-func plan(exps []Experiment, scale Scale, jobs int, cache *pointcache.Cache) (PlanStats, error) {
+func plan(exps []Experiment, opt SuiteOptions) (PlanStats, error) {
 	var ps PlanStats
 	var miss []bench.PointSpec
+	cache := opt.Cache
 	seen := map[pointcache.Key]bool{}
 	for _, e := range exps {
 		if e.Sweeps == nil {
@@ -166,11 +172,14 @@ func plan(exps []Experiment, scale Scale, jobs int, cache *pointcache.Cache) (Pl
 		}
 		ps.Figures++
 		inFig := map[pointcache.Key]bool{}
-		for _, req := range e.Sweeps(scale) {
+		for _, req := range e.Sweeps(opt.Scale) {
 			cfg, err := getMachine(req.Machine)
 			if err != nil {
 				return ps, fmt.Errorf("experiments: %s declares unknown machine: %w", e.ID, err)
 			}
+			// Presimulated points carry the suite's shard count like the
+			// figures' own sweeps will; the content address ignores it.
+			req.Spec.Shards = opt.Shards
 			for _, pt := range bench.ExpandPoints(cfg, req.Spec) {
 				k := pt.Key()
 				ps.Points++
@@ -198,7 +207,7 @@ func plan(exps []Experiment, scale Scale, jobs int, cache *pointcache.Cache) (Pl
 	if len(miss) == 0 {
 		return ps, nil
 	}
-	_, _, err := sched.Map(jobs, len(miss), func(i int) (struct{}, error) {
+	_, _, err := sched.Map(opt.Jobs, len(miss), func(i int) (struct{}, error) {
 		p, err := bench.MeasurePoint(miss[i])
 		if err == nil {
 			cache.Put(miss[i].Key(), p.Elapsed)
@@ -212,37 +221,46 @@ func plan(exps []Experiment, scale Scale, jobs int, cache *pointcache.Cache) (Pl
 	return ps, nil
 }
 
-// RunAll regenerates the given experiments on up to `jobs` concurrent
-// workers (jobs <= 0 selects GOMAXPROCS) and returns their outputs in
-// the order they were given — registry order for Registry() — so the
-// rendered suite is byte-identical at any job count. Each experiment
-// is an independent, bit-reproducible set of simulations; on the
-// first failure no further experiments start, and every failure is
+// SuiteOptions configures one RunSuite invocation. The zero value
+// runs quick-scale, sequential, uncached, on the sequential engine.
+type SuiteOptions struct {
+	// Scale selects experiment sizing (Quick or Full).
+	Scale Scale
+	// Jobs caps concurrent experiment workers (<= 0 selects
+	// GOMAXPROCS). Output order is fixed, so the rendered suite is
+	// byte-identical at any job count.
+	Jobs int
+	// Shards is the engine shard count recorded on every simulated
+	// world (0 means 1). The coupled stacks run sequentially at every
+	// value, so the suite is byte-identical at any shard count.
+	Shards int
+	// Cache, when non-nil, memoizes points and enables the dedup
+	// planner; nil degrades to a census-only PlanStats.
+	Cache *pointcache.Cache
+}
+
+// RunSuite regenerates the given experiments on up to opt.Jobs
+// concurrent workers and returns their outputs in the order they were
+// given — registry order for Registry(). Each experiment is an
+// independent, bit-reproducible set of simulations; on the first
+// failure no further experiments start, and every failure is
 // aggregated into the returned error. The returned sched.Stats hold
 // per-experiment wall times for reporting.
 //
-// RunAll runs without a cache; RunAllCached adds memoization and the
-// dedup planner on top of the identical output.
-func RunAll(exps []Experiment, scale Scale, jobs int) ([]*Output, *sched.Stats, error) {
-	outs, stats, _, err := RunAllCached(exps, scale, jobs, nil)
-	return outs, stats, err
-}
-
-// RunAllCached is RunAll with a shared point cache: the dedup planner
-// first collects every declared sweep, computes the union of unique
-// points, and simulates each exactly once (fanned out over `jobs`
-// workers) to seed the cache; the figures then run as usual and hit.
-// Cross-figure overlap is therefore simulated once even on a cold
-// cache, and a warm disk cache skips straight to materializing the
-// figures. A nil cache degrades to plain RunAll plus a census-only
-// PlanStats. Output is byte-identical in all cases.
-func RunAllCached(exps []Experiment, scale Scale, jobs int, cache *pointcache.Cache) ([]*Output, *sched.Stats, PlanStats, error) {
-	ps, err := plan(exps, scale, jobs, cache)
+// With a cache, the dedup planner first collects every declared
+// sweep, computes the union of unique points, and simulates each
+// exactly once (fanned out over opt.Jobs workers) to seed the cache;
+// the figures then run as usual and hit. Cross-figure overlap is
+// therefore simulated once even on a cold cache, and a warm disk
+// cache skips straight to materializing the figures. Output is
+// byte-identical in all cases.
+func RunSuite(exps []Experiment, opt SuiteOptions) ([]*Output, *sched.Stats, PlanStats, error) {
+	ps, err := plan(exps, opt)
 	if err != nil {
 		return nil, nil, ps, err
 	}
-	env := &Env{Scale: scale, Cache: cache}
-	outs, stats, err := sched.Map(jobs, len(exps), func(i int) (*Output, error) {
+	env := &Env{Scale: opt.Scale, Cache: opt.Cache, Shards: opt.Shards}
+	outs, stats, err := sched.Map(opt.Jobs, len(exps), func(i int) (*Output, error) {
 		out, err := exps[i].Run(env)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s failed: %w", exps[i].ID, err)

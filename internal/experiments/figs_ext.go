@@ -93,7 +93,7 @@ func ExtFrontierGPU(env *Env) (*Output, error) {
 		return nil, err
 	}
 	ns, sizes := sweepDims(s)
-	res, err := bench.Sweep(cfg, bench.Spec{Transport: bench.ShmemPutSignal, Ns: ns, Sizes: sizes, Cache: env.Cache})
+	res, err := bench.Sweep(cfg, bench.Spec{Transport: bench.ShmemPutSignal, Ns: ns, Sizes: sizes, Cache: env.Cache, Shards: env.Shards})
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +113,7 @@ func ExtFrontierGPU(env *Env) (*Output, error) {
 		return nil, err
 	}
 	for _, p := range []int{1, 2, 4} {
-		r, err := sptrsv.Run(sptrsv.Config{Machine: cfg, Transport: comm.Shmem, Matrix: mat, Ranks: p})
+		r, err := sptrsv.Run(sptrsv.Config{Machine: cfg, Transport: comm.Shmem, Matrix: mat, Ranks: p, Shards: env.Shards})
 		if err != nil {
 			return nil, err
 		}
@@ -124,7 +124,7 @@ func ExtFrontierGPU(env *Env) (*Output, error) {
 		inserts = 20000
 	}
 	for _, p := range []int{1, 4} {
-		r, err := hashtable.Run(hashtable.Config{Machine: cfg, Transport: comm.Shmem, Ranks: p, TotalInserts: inserts})
+		r, err := hashtable.Run(hashtable.Config{Machine: cfg, Transport: comm.Shmem, Ranks: p, TotalInserts: inserts, Shards: env.Shards})
 		if err != nil {
 			return nil, err
 		}
@@ -167,15 +167,15 @@ func ExtNotified(env *Env) (*Output, error) {
 	}
 	run := func(t *table.Table, mat *spmat.SupTri) (best float64, err error) {
 		for _, p := range ranks {
-			two, err := sptrsv.Run(sptrsv.Config{Machine: pm, Transport: comm.TwoSided, Matrix: mat, Ranks: p})
+			two, err := sptrsv.Run(sptrsv.Config{Machine: pm, Transport: comm.TwoSided, Matrix: mat, Ranks: p, Shards: env.Shards})
 			if err != nil {
 				return 0, err
 			}
-			one, err := sptrsv.Run(sptrsv.Config{Machine: pm, Transport: comm.OneSided, Matrix: mat, Ranks: p})
+			one, err := sptrsv.Run(sptrsv.Config{Machine: pm, Transport: comm.OneSided, Matrix: mat, Ranks: p, Shards: env.Shards})
 			if err != nil {
 				return 0, err
 			}
-			ntf, err := sptrsv.Run(sptrsv.Config{Machine: pm, Transport: comm.Notified, Matrix: mat, Ranks: p})
+			ntf, err := sptrsv.Run(sptrsv.Config{Machine: pm, Transport: comm.Notified, Matrix: mat, Ranks: p, Shards: env.Shards})
 			if err != nil {
 				return 0, err
 			}

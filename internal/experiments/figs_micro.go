@@ -83,7 +83,7 @@ func Fig1(env *Env) (*Output, error) {
 		return nil, err
 	}
 	ns, sizes := sweepDims(s)
-	res, err := bench.Sweep(cfg, bench.Spec{Transport: bench.OneSided, Ns: ns, Sizes: sizes, Cache: env.Cache})
+	res, err := bench.Sweep(cfg, bench.Spec{Transport: bench.OneSided, Ns: ns, Sizes: sizes, Cache: env.Cache, Shards: env.Shards})
 	if err != nil {
 		return nil, err
 	}
@@ -145,11 +145,11 @@ func Fig3(env *Env) (*Output, error) {
 		if err != nil {
 			return nil, err
 		}
-		two, err := bench.Sweep(cfg, bench.Spec{Transport: bench.TwoSided, Ns: ns, Sizes: sizes, Cache: env.Cache})
+		two, err := bench.Sweep(cfg, bench.Spec{Transport: bench.TwoSided, Ns: ns, Sizes: sizes, Cache: env.Cache, Shards: env.Shards})
 		if err != nil {
 			return nil, err
 		}
-		one, err := bench.Sweep(cfg, bench.Spec{Transport: bench.OneSided, Ns: ns, Sizes: sizes, Cache: env.Cache})
+		one, err := bench.Sweep(cfg, bench.Spec{Transport: bench.OneSided, Ns: ns, Sizes: sizes, Cache: env.Cache, Shards: env.Shards})
 		if err != nil {
 			return nil, err
 		}
@@ -208,7 +208,7 @@ func Fig4(env *Env) (*Output, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := bench.Sweep(cfg, bench.Spec{Transport: bench.ShmemPutSignal, Ns: ns, Sizes: sizes, Cache: env.Cache})
+		res, err := bench.Sweep(cfg, bench.Spec{Transport: bench.ShmemPutSignal, Ns: ns, Sizes: sizes, Cache: env.Cache, Shards: env.Shards})
 		if err != nil {
 			return nil, err
 		}

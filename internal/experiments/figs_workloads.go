@@ -49,7 +49,7 @@ func stencilScale(s Scale) (grid, iters int, note string) {
 
 // TableII reports the workload characterization, with msg/sync and
 // message sizes measured from traced runs.
-func TableII(*Env) (*Output, error) {
+func TableII(env *Env) (*Output, error) {
 	t := table.New("Workload characterization (Table II)",
 		"Workload", "Pattern", "Notify", "P2P pair", "Msg/sync (paper)", "Msg/sync (measured)", "Bytes/msg (measured)")
 	pm, err := getMachine("perlmutter-cpu")
@@ -57,7 +57,7 @@ func TableII(*Env) (*Output, error) {
 		return nil, err
 	}
 
-	st, err := stencil.Run(stencil.Config{Machine: pm, Transport: comm.TwoSided, Grid: 512, Iters: 3, PX: 4, PY: 4})
+	st, err := stencil.Run(stencil.Config{Machine: pm, Transport: comm.TwoSided, Grid: 512, Iters: 3, PX: 4, PY: 4, Shards: env.Shards})
 	if err != nil {
 		return nil, err
 	}
@@ -69,7 +69,7 @@ func TableII(*Env) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
-	sp, err := sptrsv.Run(sptrsv.Config{Machine: pm, Transport: comm.TwoSided, Matrix: m, Ranks: 8})
+	sp, err := sptrsv.Run(sptrsv.Config{Machine: pm, Transport: comm.TwoSided, Matrix: m, Ranks: 8, Shards: env.Shards})
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +77,7 @@ func TableII(*Env) (*Output, error) {
 		fmt.Sprintf("%.1f", sp.Comm.MsgsPerSync),
 		fmt.Sprintf("%.0f (range %d-%d)", sp.Comm.MeanBytes, sp.Comm.MinBytes, sp.Comm.MaxBytes))
 
-	ht, err := hashtable.Run(hashtable.Config{Machine: pm, Transport: comm.TwoSided, Ranks: 8, TotalInserts: 800})
+	ht, err := hashtable.Run(hashtable.Config{Machine: pm, Transport: comm.TwoSided, Ranks: 8, TotalInserts: 800, Shards: env.Shards})
 	if err != nil {
 		return nil, err
 	}
@@ -85,7 +85,7 @@ func TableII(*Env) (*Output, error) {
 		fmt.Sprintf("%.1f", ht.Comm.MsgsPerSync),
 		fmt.Sprintf("%.0f (3 words)", ht.Comm.MeanBytes))
 
-	h1, err := hashtable.Run(hashtable.Config{Machine: pm, Transport: comm.OneSided, Ranks: 8, TotalInserts: 800})
+	h1, err := hashtable.Run(hashtable.Config{Machine: pm, Transport: comm.OneSided, Ranks: 8, TotalInserts: 800, Shards: env.Shards})
 	if err != nil {
 		return nil, err
 	}
@@ -115,11 +115,11 @@ func Fig5(env *Env) (*Output, error) {
 	for _, p := range cpuRanks {
 		px, py := stencilDims(p)
 		g := fitGrid(grid, px, py)
-		two, err := stencil.Run(stencil.Config{Machine: pm, Transport: comm.TwoSided, Grid: g, Iters: iters, PX: px, PY: py})
+		two, err := stencil.Run(stencil.Config{Machine: pm, Transport: comm.TwoSided, Grid: g, Iters: iters, PX: px, PY: py, Shards: env.Shards})
 		if err != nil {
 			return nil, err
 		}
-		one, err := stencil.Run(stencil.Config{Machine: pm, Transport: comm.OneSided, Grid: g, Iters: iters, PX: px, PY: py})
+		one, err := stencil.Run(stencil.Config{Machine: pm, Transport: comm.OneSided, Grid: g, Iters: iters, PX: px, PY: py, Shards: env.Shards})
 		if err != nil {
 			return nil, err
 		}
@@ -146,7 +146,7 @@ func Fig5(env *Env) (*Output, error) {
 		gpuSeries[g.name] = ser
 		for _, p := range g.ranks {
 			px, py := stencilDims(p)
-			res, err := stencil.Run(stencil.Config{Machine: cfg, Transport: comm.Shmem, Grid: fitGrid(grid, px, py), Iters: iters, PX: px, PY: py})
+			res, err := stencil.Run(stencil.Config{Machine: cfg, Transport: comm.Shmem, Grid: fitGrid(grid, px, py), Iters: iters, PX: px, PY: py, Shards: env.Shards})
 			if err != nil {
 				return nil, err
 			}
@@ -164,7 +164,7 @@ func Fig5(env *Env) (*Output, error) {
 	staged := plot.Series{Name: "perlmutter-gpu host-staged"}
 	for _, p := range []int{1, 2, 4} {
 		px, py := stencilDims(p)
-		res, err := stencil.Run(stencil.Config{Machine: pg, Transport: comm.TwoSided, Grid: fitGrid(grid, px, py), Iters: iters, PX: px, PY: py})
+		res, err := stencil.Run(stencil.Config{Machine: pg, Transport: comm.TwoSided, Grid: fitGrid(grid, px, py), Iters: iters, PX: px, PY: py, Shards: env.Shards})
 		if err != nil {
 			return nil, err
 		}
@@ -203,7 +203,7 @@ func Fig6(env *Env) (*Output, error) {
 	}
 	// Workload placements from traced quick runs.
 	grid, iters, _ := stencilScale(Quick)
-	st, err := stencil.Run(stencil.Config{Machine: pm, Transport: comm.TwoSided, Grid: grid, Iters: iters, PX: 4, PY: 4})
+	st, err := stencil.Run(stencil.Config{Machine: pm, Transport: comm.TwoSided, Grid: grid, Iters: iters, PX: 4, PY: 4, Shards: env.Shards})
 	if err != nil {
 		return nil, err
 	}
@@ -211,11 +211,11 @@ func Fig6(env *Env) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
-	sp, err := sptrsv.Run(sptrsv.Config{Machine: pm, Transport: comm.TwoSided, Matrix: mat, Ranks: 16})
+	sp, err := sptrsv.Run(sptrsv.Config{Machine: pm, Transport: comm.TwoSided, Matrix: mat, Ranks: 16, Shards: env.Shards})
 	if err != nil {
 		return nil, err
 	}
-	ht, err := hashtable.Run(hashtable.Config{Machine: pm, Transport: comm.TwoSided, Ranks: 16, TotalInserts: 1600})
+	ht, err := hashtable.Run(hashtable.Config{Machine: pm, Transport: comm.TwoSided, Ranks: 16, TotalInserts: 1600, Shards: env.Shards})
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +252,7 @@ func Fig6(env *Env) (*Output, error) {
 // Roofline: more messages per synchronization hide more latency, so
 // the hashtable (1e6 msg/sync) pays the least and SpTRSV (1 msg/sync)
 // the most.
-func Fig7(*Env) (*Output, error) {
+func Fig7(env *Env) (*Output, error) {
 	pg, err := getMachine("perlmutter-gpu")
 	if err != nil {
 		return nil, err
@@ -267,7 +267,7 @@ func Fig7(*Env) (*Output, error) {
 		return nil, err
 	}
 	grid, iters, _ := stencilScale(Quick)
-	st, err := stencil.Run(stencil.Config{Machine: pm, Transport: comm.TwoSided, Grid: grid, Iters: iters, PX: 4, PY: 4})
+	st, err := stencil.Run(stencil.Config{Machine: pm, Transport: comm.TwoSided, Grid: grid, Iters: iters, PX: 4, PY: 4, Shards: env.Shards})
 	if err != nil {
 		return nil, err
 	}
@@ -275,7 +275,7 @@ func Fig7(*Env) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
-	sp, err := sptrsv.Run(sptrsv.Config{Machine: pm, Transport: comm.TwoSided, Matrix: mat, Ranks: 16})
+	sp, err := sptrsv.Run(sptrsv.Config{Machine: pm, Transport: comm.TwoSided, Matrix: mat, Ranks: 16, Shards: env.Shards})
 	if err != nil {
 		return nil, err
 	}
@@ -334,11 +334,11 @@ func Fig8(env *Env) (*Output, error) {
 	}
 	var twoT, oneT []float64
 	for _, p := range cpuRanks {
-		two, err := sptrsv.Run(sptrsv.Config{Machine: pm, Transport: comm.TwoSided, Matrix: mat, Ranks: p})
+		two, err := sptrsv.Run(sptrsv.Config{Machine: pm, Transport: comm.TwoSided, Matrix: mat, Ranks: p, Shards: env.Shards})
 		if err != nil {
 			return nil, err
 		}
-		one, err := sptrsv.Run(sptrsv.Config{Machine: pm, Transport: comm.OneSided, Matrix: mat, Ranks: p})
+		one, err := sptrsv.Run(sptrsv.Config{Machine: pm, Transport: comm.OneSided, Matrix: mat, Ranks: p, Shards: env.Shards})
 		if err != nil {
 			return nil, err
 		}
@@ -360,7 +360,7 @@ func Fig8(env *Env) (*Output, error) {
 	}
 	var smT []float64
 	for _, p := range smRanks {
-		r, err := sptrsv.Run(sptrsv.Config{Machine: sm, Transport: comm.TwoSided, Matrix: mat, Ranks: p})
+		r, err := sptrsv.Run(sptrsv.Config{Machine: sm, Transport: comm.TwoSided, Matrix: mat, Ranks: p, Shards: env.Shards})
 		if err != nil {
 			return nil, err
 		}
@@ -382,7 +382,7 @@ func Fig8(env *Env) (*Output, error) {
 		}
 		var ys []float64
 		for _, p := range g.ranks {
-			r, err := sptrsv.Run(sptrsv.Config{Machine: cfg, Transport: comm.Shmem, Matrix: mat, Ranks: p})
+			r, err := sptrsv.Run(sptrsv.Config{Machine: cfg, Transport: comm.Shmem, Matrix: mat, Ranks: p, Shards: env.Shards})
 			if err != nil {
 				return nil, err
 			}
@@ -423,7 +423,7 @@ func Fig9(env *Env) (*Output, error) {
 	one := plot.Series{Name: "perlmutter-cpu one-sided"}
 	var crossNote string
 	for _, p := range cpuRanks {
-		cfg := hashtable.Config{Machine: pm, Ranks: p, TotalInserts: inserts}
+		cfg := hashtable.Config{Machine: pm, Ranks: p, TotalInserts: inserts, Shards: env.Shards}
 		cfg.Transport = comm.TwoSided
 		t2, err := hashtable.Run(cfg)
 		if err != nil {
@@ -459,7 +459,7 @@ func Fig9(env *Env) (*Output, error) {
 		}
 		ser := plot.Series{Name: g.name + " nvshmem"}
 		for _, p := range g.ranks {
-			r, err := hashtable.Run(hashtable.Config{Machine: cfg, Transport: comm.Shmem, Ranks: p, TotalInserts: gpuInserts})
+			r, err := hashtable.Run(hashtable.Config{Machine: cfg, Transport: comm.Shmem, Ranks: p, TotalInserts: gpuInserts, Shards: env.Shards})
 			if err != nil {
 				return nil, err
 			}

@@ -24,14 +24,14 @@ func fakeExperiment(id string, delay time.Duration, fail error) Experiment {
 	}
 }
 
-func TestRunAllPreservesRegistryOrder(t *testing.T) {
+func TestRunSuitePreservesRegistryOrder(t *testing.T) {
 	// Later experiments finish first (shorter sleeps), but outputs
 	// must come back in submission order.
 	var exps []Experiment
 	for i := 0; i < 6; i++ {
 		exps = append(exps, fakeExperiment(fmt.Sprintf("e%d", i), time.Duration(6-i)*time.Millisecond, nil))
 	}
-	outs, stats, err := RunAll(exps, Quick, 4)
+	outs, stats, _, err := RunSuite(exps, SuiteOptions{Scale: Quick, Jobs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,14 +48,14 @@ func TestRunAllPreservesRegistryOrder(t *testing.T) {
 	}
 }
 
-func TestRunAllReportsFailureWithID(t *testing.T) {
+func TestRunSuiteReportsFailureWithID(t *testing.T) {
 	boom := errors.New("synthetic failure")
 	exps := []Experiment{
 		fakeExperiment("ok1", 0, nil),
 		fakeExperiment("bad", 0, boom),
 		fakeExperiment("ok2", 0, nil),
 	}
-	_, _, err := RunAll(exps, Quick, 1)
+	_, _, _, err := RunSuite(exps, SuiteOptions{Scale: Quick, Jobs: 1})
 	if err == nil {
 		t.Fatal("want error")
 	}
@@ -64,7 +64,7 @@ func TestRunAllReportsFailureWithID(t *testing.T) {
 	}
 }
 
-func TestRunAllMatchesSequentialOutput(t *testing.T) {
+func TestRunSuiteMatchesSequentialOutput(t *testing.T) {
 	// A cheap real slice of the registry must render identically
 	// sequentially and concurrently (the cmd/experiments guarantee).
 	var exps []Experiment
@@ -82,11 +82,11 @@ func TestRunAllMatchesSequentialOutput(t *testing.T) {
 		}
 		return b.String()
 	}
-	seq, _, err := RunAll(exps, Quick, 1)
+	seq, _, _, err := RunSuite(exps, SuiteOptions{Scale: Quick, Jobs: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, _, err := RunAll(exps, Quick, 8)
+	par, _, _, err := RunSuite(exps, SuiteOptions{Scale: Quick, Jobs: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestPlannerDedupsCrossFigureOverlap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	outs, _, ps, err := RunAllCached(exps, Quick, 4, cache)
+	outs, _, ps, err := RunSuite(exps, SuiteOptions{Scale: Quick, Jobs: 4, Cache: cache})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestPlannerDedupsCrossFigureOverlap(t *testing.T) {
 		t.Fatalf("hits = %d, want >= %d declared points", st.Hits, ps.Points)
 	}
 	// And the rendered output must match the uncached run exactly.
-	plain, _, err := RunAll(exps, Quick, 4)
+	plain, _, _, err := RunSuite(exps, SuiteOptions{Scale: Quick, Jobs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestPlannerDedupsCrossFigureOverlap(t *testing.T) {
 		}
 	}
 	// A second run against the same cache reuses everything.
-	_, _, warm, err := RunAllCached(exps, Quick, 4, cache)
+	_, _, warm, err := RunSuite(exps, SuiteOptions{Scale: Quick, Jobs: 4, Cache: cache})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +159,7 @@ func TestPlannerCensusOnlyWithoutCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, ps, err := RunAllCached([]Experiment{e}, Quick, 1, nil)
+	_, _, ps, err := RunSuite([]Experiment{e}, SuiteOptions{Scale: Quick, Jobs: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func TestUnknownMachineIsReportedNotPanic(t *testing.T) {
 		}
 		return &Output{ID: "ghost", Text: cfg.Name}, nil
 	}}
-	_, _, err := RunAll([]Experiment{exp}, Quick, 2)
+	_, _, _, err := RunSuite([]Experiment{exp}, SuiteOptions{Scale: Quick, Jobs: 2})
 	if err == nil || !strings.Contains(err.Error(), "unknown machine") {
 		t.Fatalf("unknown machine should propagate: %v", err)
 	}

@@ -34,8 +34,8 @@ const (
 )
 
 // Config describes one hashtable run. Machine and Transport are
-// embedded like the other workloads' Configs (the historical Run*
-// shims still accept the machine as a separate argument).
+// embedded like the other workloads' Configs; Run is the only entry
+// point (the historical per-transport Run* shims are gone).
 type Config struct {
 	// Machine is the target platform from the catalog.
 	Machine *machine.Config
@@ -53,6 +53,10 @@ type Config struct {
 	// Blocks is the GPU-only concurrency: inserts are spread over
 	// this many thread-block contexts per PE (default 8).
 	Blocks int
+	// Shards is the engine shard count recorded on the simulated
+	// world (0 means 1; results are byte-identical at every value —
+	// see comm.Spec.Shards).
+	Shards int
 	// Perturb, when non-nil, installs engine schedule fuzzing
 	// (conformance harness only; nil leaves runs byte-identical).
 	Perturb *sim.Perturbation
@@ -156,6 +160,10 @@ type Result struct {
 	Collisions int64
 	// Ranks is the number of processes used.
 	Ranks int
+	// EventDigest is the engine's event-order fingerprint
+	// (sim.Engine.Digest) captured after the run; the shard-determinism
+	// suite compares it across shard counts.
+	EventDigest uint64
 }
 
 func finishResult(cfg *Config, elapsed sim.Time, comm trace.Summary, atomics, collisions int64) *Result {

@@ -74,7 +74,7 @@ func TestGeometry(t *testing.T) {
 }
 
 func TestOneSidedCorrectness(t *testing.T) {
-	// RunOneSided verifies the table internally; also check counters.
+	// Run verifies the table internally; also check counters.
 	res, err := Run(Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.OneSided, Ranks: 8, TotalInserts: 2000})
 	if err != nil {
 		t.Fatal(err)

@@ -44,8 +44,8 @@ func Run(cfg Config) (*Result, error) {
 	g := newGeometry(&cfg)
 	t, err := comm.New(comm.Spec{
 		Machine: cfg.Machine, Kind: cfg.Transport, Ranks: cfg.Ranks,
-		SharedBytes: g.heapBytes(),
-		Perturb:     cfg.Perturb, Faults: cfg.Faults,
+		SharedBytes: g.heapBytes(), Shards: cfg.Shards,
+		Perturb: cfg.Perturb, Faults: cfg.Faults,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("hashtable %s: %w", cfg.Transport, err)
@@ -135,34 +135,9 @@ func Run(cfg Config) (*Result, error) {
 		// 1e6 messages per sync).
 		rec.Sync()
 	}
-	return finishResult(&cfg, t.Elapsed(), rec.Summarize(t.Elapsed()), atomics, collisions), nil
-}
-
-// RunOneSided executes the one-sided CPU design.
-//
-// Deprecated: set Config.Machine and Config.Transport and call Run.
-func RunOneSided(mcfg *machine.Config, cfg Config) (*Result, error) {
-	cfg.Machine = mcfg
-	cfg.Transport = comm.OneSided
-	return Run(cfg)
-}
-
-// RunTwoSided executes the paper's broadcast design.
-//
-// Deprecated: set Config.Machine and Config.Transport and call Run.
-func RunTwoSided(mcfg *machine.Config, cfg Config) (*Result, error) {
-	cfg.Machine = mcfg
-	cfg.Transport = comm.TwoSided
-	return Run(cfg)
-}
-
-// RunGPU executes the NVSHMEM design.
-//
-// Deprecated: set Config.Machine and Config.Transport and call Run.
-func RunGPU(mcfg *machine.Config, cfg Config) (*Result, error) {
-	cfg.Machine = mcfg
-	cfg.Transport = comm.Shmem
-	return Run(cfg)
+	res := finishResult(&cfg, t.Elapsed(), rec.Summarize(t.Elapsed()), atomics, collisions)
+	res.EventDigest = t.Engine().Digest()
+	return res, nil
 }
 
 func shardFromBytes(g geometry, heap []byte) shard {

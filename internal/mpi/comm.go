@@ -78,11 +78,19 @@ func (c *Comm) SetSendHook(h MsgHook) { c.sendHook = h }
 // configuration. The machine must offer two-sided MPI (CPU machines);
 // one-sided operations additionally require the OneSided transport.
 func NewComm(cfg *machine.Config, n int) (*Comm, error) {
+	return NewCommSharded(cfg, n, 1)
+}
+
+// NewCommSharded is NewComm with an engine shard count recorded on
+// the underlying world (see runtime.NewWorldSharded: the coupled MPI
+// stack always executes on the sequential engine, so results are
+// byte-identical at every shard count).
+func NewCommSharded(cfg *machine.Config, n, shards int) (*Comm, error) {
 	two, ok := cfg.Params(machine.TwoSided)
 	if !ok {
 		return nil, fmt.Errorf("mpi: machine %s has no two-sided transport", cfg.Name)
 	}
-	w, err := runtime.NewWorld(cfg, n)
+	w, err := runtime.NewWorldSharded(cfg, n, shards)
 	if err != nil {
 		return nil, err
 	}

@@ -256,3 +256,34 @@ func TestCutThroughPreservesContention(t *testing.T) {
 		t.Fatalf("cut-through must still queue: %v then %v", first, second)
 	}
 }
+
+func TestLookaheadBound(t *testing.T) {
+	n := New()
+	if got := n.LookaheadBound(); got != 0 {
+		t.Fatalf("linkless fabric lookahead = %v, want 0", got)
+	}
+	n.AddLink("a", "b", 1e9, 500*sim.Nanosecond, 2)
+	n.AddLink("b", "c", 1e9, 100*sim.Nanosecond, 1)
+	n.AddLink("c", "d", 1e9, 900*sim.Nanosecond, 1)
+	if got := n.LookaheadBound(); got != 100*sim.Nanosecond {
+		t.Fatalf("lookahead = %v, want 100ns", got)
+	}
+	// Per-node bound: node a only sees its own 500 ns links, so its
+	// outgoing horizon is looser than the global bound.
+	if got := n.LookaheadFrom("a"); got != 500*sim.Nanosecond {
+		t.Fatalf("LookaheadFrom(a) = %v, want 500ns", got)
+	}
+	if got := n.LookaheadFrom("b"); got != 100*sim.Nanosecond {
+		t.Fatalf("LookaheadFrom(b) = %v, want 100ns", got)
+	}
+	n.AddNode("island")
+	if got := n.LookaheadFrom("island"); got != 0 {
+		t.Fatalf("LookaheadFrom(island) = %v, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LookaheadFrom on unknown node should panic")
+		}
+	}()
+	n.LookaheadFrom("nope")
+}

@@ -359,6 +359,53 @@ func (n *Network) BaseLatency(src, dst string) sim.Time {
 	return p.BaseLatency()
 }
 
+// LookaheadBound returns the minimum propagation latency over every
+// link in the fabric. No message can cross between distinct nodes in
+// less simulated time than this, so it is the conservative-parallel
+// lookahead bound a sharded event engine may use to advance shards
+// past the global horizon safely (DESIGN.md §11). A linkless fabric
+// returns 0: no lookahead exists and sharding must stay disabled.
+func (n *Network) LookaheadBound() sim.Time {
+	min := sim.Time(-1)
+	for _, groups := range n.adj {
+		for _, g := range groups {
+			for _, l := range g.links {
+				if min < 0 || l.Latency() < min {
+					min = l.Latency()
+				}
+			}
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// LookaheadFrom returns the minimum propagation latency over the
+// channel groups leaving `node` — the per-link-class lookahead a
+// placement that confines the node's ranks to one shard could use
+// for that shard's outgoing horizon (tighter than the global
+// LookaheadBound on heterogeneous fabrics). It panics on unknown
+// nodes and returns 0 for a node with no outgoing links.
+func (n *Network) LookaheadFrom(node string) sim.Time {
+	if !n.HasNode(node) {
+		panic(fmt.Sprintf("netsim: unknown node %q", node))
+	}
+	min := sim.Time(-1)
+	for _, g := range n.adj[node] {
+		for _, l := range g.links {
+			if min < 0 || l.Latency() < min {
+				min = l.Latency()
+			}
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
 // Reset clears reservation state and counters on every link.
 func (n *Network) Reset() {
 	for _, groups := range n.adj {

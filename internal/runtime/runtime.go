@@ -21,15 +21,47 @@ type World struct {
 	Eng  *sim.Engine
 	Inst *machine.Instance
 	eps  []*Endpoint
+	// shards and shardOf record the engine shard layout requested for
+	// this world (see NewWorldSharded).
+	shards  int
+	shardOf func(rank int) int
 }
 
 // NewWorld builds a world with `ranks` endpoints on the given machine.
 func NewWorld(cfg *machine.Config, ranks int) (*World, error) {
+	return NewWorldSharded(cfg, ranks, 1)
+}
+
+// NewWorldSharded builds a world with `ranks` endpoints and records a
+// rank→shard placement over `shards` engine shards (clamped to the
+// rank count; <= 0 means 1). Placement follows sim.BlockPlacement so
+// it agrees with the sharded engine's default.
+//
+// The coupled mpi/shmem stacks built on a World share mutable state
+// across ranks — window memory, link reservations, atomic
+// serialization — so their simulation always executes on the single
+// sequential engine regardless of the shard count: output is
+// byte-identical at every -shards value by construction (the
+// deterministic fallback, DESIGN.md §11). The recorded placement and
+// the fabric's Lookahead feed the sim.ShardedEngine path for
+// workloads whose state is rank-confined.
+func NewWorldSharded(cfg *machine.Config, ranks, shards int) (*World, error) {
 	inst, err := cfg.Instantiate(ranks)
 	if err != nil {
 		return nil, err
 	}
-	w := &World{Eng: sim.NewEngine(), Inst: inst}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > ranks {
+		shards = ranks
+	}
+	w := &World{
+		Eng:     sim.NewEngine(),
+		Inst:    inst,
+		shards:  shards,
+		shardOf: sim.BlockPlacement(ranks, shards),
+	}
 	channels := 1
 	if cfg.GPU != nil {
 		channels = cfg.GPU.Channels
@@ -46,6 +78,20 @@ func NewWorld(cfg *machine.Config, ranks int) (*World, error) {
 
 // Size returns the number of endpoints (ranks/PEs).
 func (w *World) Size() int { return len(w.eps) }
+
+// Shards returns the engine shard count recorded for this world.
+func (w *World) Shards() int { return w.shards }
+
+// ShardOf returns the shard rank is placed on (block placement over
+// the recorded shard count).
+func (w *World) ShardOf(rank int) int { return w.shardOf(rank) }
+
+// Lookahead returns the fabric's conservative lookahead bound: the
+// minimum link propagation latency of the instantiated network. It is
+// 0 when every rank shares one fabric node (no links), in which case
+// no conservative horizon exists and sharded execution must stay
+// disabled.
+func (w *World) Lookahead() sim.Time { return w.Inst.Net.LookaheadBound() }
 
 // Endpoint returns the endpoint for a rank.
 func (w *World) Endpoint(rank int) *Endpoint {

@@ -42,6 +42,14 @@ func (j *Job) SetPutHook(h PutHook) { j.putHook = h }
 // NewJob builds a SHMEM job with npes PEs, each exposing heapBytes of
 // symmetric memory. The machine must provide the GPUShmem transport.
 func NewJob(cfg *machine.Config, npes, heapBytes int) (*Job, error) {
+	return NewJobSharded(cfg, npes, heapBytes, 1)
+}
+
+// NewJobSharded is NewJob with an engine shard count recorded on the
+// underlying world (see runtime.NewWorldSharded: the coupled SHMEM
+// stack always executes on the sequential engine, so results are
+// byte-identical at every shard count).
+func NewJobSharded(cfg *machine.Config, npes, heapBytes, shards int) (*Job, error) {
 	tp, ok := cfg.Params(machine.GPUShmem)
 	if !ok {
 		return nil, fmt.Errorf("shmem: machine %s has no GPU-initiated transport", cfg.Name)
@@ -49,7 +57,7 @@ func NewJob(cfg *machine.Config, npes, heapBytes int) (*Job, error) {
 	if heapBytes < 0 {
 		return nil, fmt.Errorf("shmem: negative heap size")
 	}
-	w, err := runtime.NewWorld(cfg, npes)
+	w, err := runtime.NewWorldSharded(cfg, npes, shards)
 	if err != nil {
 		return nil, err
 	}

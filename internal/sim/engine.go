@@ -93,6 +93,7 @@ type Engine struct {
 	now      Time
 	seq      uint64
 	executed uint64
+	digest   uint64 // order-sensitive fold of dispatched (at, key) pairs
 	maxEv    uint64 // 0 = unlimited
 	horizon  Time   // RunUntil bound; handoffs must not dispatch beyond it
 
@@ -123,6 +124,7 @@ func NewEngine() *Engine {
 	return &Engine{
 		turn:    make(chan struct{}),
 		horizon: math.MaxInt64,
+		digest:  fnvOffsetBasis,
 	}
 }
 
@@ -131,6 +133,16 @@ func (e *Engine) Now() Time { return e.now }
 
 // Executed returns the number of events dispatched so far.
 func (e *Engine) Executed() uint64 { return e.executed }
+
+// Digest returns the order-sensitive fingerprint of the events
+// dispatched so far: each event's (firing time, ordering key) pair is
+// folded into an FNV-style hash in dispatch order. Two runs with
+// identical schedules produce equal digests; any reordering, jitter,
+// or divergent event set changes the value. The sharded engine
+// exposes the same construction per rank (ShardedEngine.RankDigest),
+// and the shard-determinism suite compares both to prove engine
+// schedules are invariant under the recorded shard count.
+func (e *Engine) Digest() uint64 { return e.digest }
 
 // SetEventLimit installs a safety cap on dispatched events; Run returns
 // an error when it is exceeded. Zero (the default) means no limit.
@@ -376,6 +388,7 @@ func (e *Engine) step() bool {
 			e.now = nd.at
 		}
 		e.executed++
+		e.digest = mixDigest(mixDigest(e.digest, uint64(nd.at)), nd.seq)
 		p, fn := nd.wake, nd.fn
 		e.freeSlot(slot)
 		if p != nil {
@@ -415,6 +428,7 @@ func (e *Engine) handoffTarget() *Proc {
 			e.now = at
 		}
 		e.executed++
+		e.digest = mixDigest(mixDigest(e.digest, uint64(at)), e.nodes[slot].seq)
 		e.freeSlot(slot)
 		if p.done {
 			continue // stale wakeup for a finished process

@@ -10,6 +10,7 @@ package sim_test
 // and the acceptance criteria in DESIGN.md §7).
 
 import (
+	"fmt"
 	"testing"
 
 	"msgroofline/internal/sim"
@@ -46,6 +47,25 @@ func BenchmarkEngineTimerChurn(b *testing.B) {
 	n := b.N/64 + 1
 	e := simbench.TimerChurn(64, n)
 	reportPerEvent(b, e)
+}
+
+// BenchmarkEngineShardedPhold measures the conservative-parallel
+// engine on the PHOLD token storm at 1, 2, and 4 shards (8192 ranks,
+// block placement). Steady state must stay at 0 allocs/op — the
+// sharded gate in ci.yml enforces it alongside the sequential
+// engine's. On multi-core runners ns/event shrinks with shard count;
+// on single-core runners compare the busy/wall ratio recorded by
+// TestRecordShardedPerf instead.
+func BenchmarkEngineShardedPhold(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			e := simbench.ShardedPhold(8192, shards, b.N, 1)
+			if ev := e.Executed(); ev > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(ev), "ns/event")
+			}
+		})
+	}
 }
 
 // BenchmarkEngineBroadcast measures fan-out wakeups: 32 waiters woken

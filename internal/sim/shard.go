@@ -1,0 +1,601 @@
+package sim
+
+// Sharded conservative-lookahead engine (DESIGN.md §11).
+//
+// ShardedEngine is the parallel counterpart of Engine for workloads
+// whose per-rank state is shard-confined: ranks are partitioned
+// across per-core shards, each shard owns a private event heap, and
+// shards advance independently inside conservative windows bounded by
+// the fabric lookahead (YAWNS-style: every window executes events in
+// [minNext, minNext+lookahead), so a cross-shard message emitted
+// inside the window — which must be timestamped at least `lookahead`
+// in the future — can never arrive in the sender's own window).
+// Cross-shard events travel through bounded per-(src,dst) mailboxes
+// that are drained at the window barrier.
+//
+// Determinism does not come from the barrier protocol but from the
+// event keys: every event is stamped (at, key) where
+// key = senderRank<<counterBits | senderCounter, drawn from the
+// *originating* rank's monotone counter at emission time. Because a
+// rank's emissions depend only on its own executed prefix, the key
+// stream — and hence the total order (at, key) and every per-rank
+// execution sequence — is invariant under the shard count. The
+// per-rank digests folded during execution (Digest, RankDigest)
+// certify exactly this: byte-equal digests at -shards 1 and -shards N
+// mean the shard split did not change a single event's order.
+//
+// The sequential Engine remains the substrate for the coupled
+// mpi/shmem/comm stacks, whose ranks share mutable state (window
+// memory, link reservations) and therefore cannot be shard-confined
+// without changing simulated outputs; see internal/runtime for how
+// the -shards knob is surfaced there.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+const (
+	// counterBits is the per-rank stream-counter width inside an event
+	// key; the rank id occupies the bits above it.
+	counterBits = 40
+	counterMask = (1 << counterBits) - 1
+	// maxShardRanks bounds the rank id so rank<<counterBits cannot
+	// overflow the 64-bit key.
+	maxShardRanks = 1 << (64 - counterBits)
+
+	timeMax = Time(math.MaxInt64)
+
+	// DefaultMailboxCap bounds each (src shard, dst shard) mailbox: the
+	// number of cross-shard events one shard may emit toward another
+	// within a single window. Exceeding it is a hard error (raise with
+	// SetMailboxCap), keeping worst-case memory proportional to
+	// shards² × cap instead of unbounded.
+	DefaultMailboxCap = 1 << 20
+)
+
+// ShardEvent is one scheduled occurrence delivered to a RankHandler:
+// the timestamp, an application-defined kind, and two payload words.
+// Larger payloads belong in rank-confined state owned by the sender
+// or receiver; the event carries only what must cross shards.
+type ShardEvent struct {
+	At   Time
+	Kind uint32
+	A, B uint64
+}
+
+// RankHandler is the per-event callback of a ShardedEngine. It runs
+// on the shard owning ctx.Self() and must touch only that rank's
+// state (plus immutable shared data); all inter-rank influence must
+// flow through ctx.Send. Violating rank confinement voids both the
+// determinism guarantee and the data-race freedom of the engine.
+type RankHandler func(ctx *ShardCtx, ev ShardEvent)
+
+// shardEvt is the internal event representation: the public fields
+// plus the (target rank, stream key) pair that orders it.
+type shardEvt struct {
+	at   Time
+	key  uint64
+	rank int32
+	kind uint32
+	a, b uint64
+}
+
+func evLess(x, y shardEvt) bool {
+	return x.at < y.at || (x.at == y.at && x.key < y.key)
+}
+
+// ShardStats is one shard's execution summary.
+type ShardStats struct {
+	// Ranks is the number of ranks placed on the shard.
+	Ranks int
+	// Executed is the number of events the shard dispatched.
+	Executed int64
+	// Busy is the wall-clock time the shard's worker spent executing
+	// events (excluding barrier waits). On a single-core runner the
+	// sum of Busy over shards approaches the total wall time; on a
+	// multi-core runner wall time approaches max(Busy).
+	Busy time.Duration
+}
+
+// shard is one partition of the engine: a private 4-ary event heap
+// plus the context handed to handlers executing on it.
+type shard struct {
+	idx      int
+	heap     []shardEvt
+	minAt    Time // heap-min timestamp after the last drain (timeMax when empty)
+	executed int64
+	nranks   int
+	busy     time.Duration
+	err      error
+	ctx      ShardCtx
+}
+
+// ShardedEngine runs a rank-partitioned discrete-event simulation
+// under conservative-lookahead synchronization. Construct with
+// NewSharded, seed initial events with Seed, then Run exactly once.
+type ShardedEngine struct {
+	ranks     int
+	lookahead Time
+	handler   RankHandler
+
+	shardOf []int32  // rank -> owning shard
+	counter []uint64 // per-rank stream counters (owner-shard confined)
+	digest  []uint64 // per-rank event-order digests (owner-shard confined)
+
+	sh   []*shard
+	mail [][]shardEvt // mail[src*K+dst]: events emitted by shard src for shard dst this window
+	mcap int
+
+	w1         Time // current window bound (exclusive)
+	eventLimit int64
+	started    bool
+	finished   bool
+	err        error
+
+	start []chan uint8 // per-shard phase commands
+	done  chan int     // shard completion notifications
+}
+
+// phase commands sent to shard workers.
+const (
+	cmdExec uint8 = iota + 1
+	cmdDrain
+	cmdQuit
+)
+
+// NewSharded builds an engine with `ranks` ranks partitioned over
+// `shards` shards under the given lookahead bound. Lookahead must be
+// positive when shards > 1: it is the minimum timestamp increment of
+// a cross-rank Send, normally the fabric's minimum link latency
+// (netsim.Network.LookaheadBound). Placement defaults to contiguous
+// blocks (BlockPlacement); override with SetPlacement before seeding.
+func NewSharded(ranks, shards int, lookahead Time, h RankHandler) (*ShardedEngine, error) {
+	if ranks < 1 {
+		return nil, fmt.Errorf("sim: sharded engine needs >= 1 rank, got %d", ranks)
+	}
+	if ranks >= maxShardRanks {
+		return nil, fmt.Errorf("sim: sharded engine supports < %d ranks, got %d", maxShardRanks, ranks)
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("sim: sharded engine needs >= 1 shard, got %d", shards)
+	}
+	if h == nil {
+		return nil, errors.New("sim: sharded engine needs a rank handler")
+	}
+	if shards > ranks {
+		shards = ranks
+	}
+	if lookahead <= 0 && shards > 1 {
+		return nil, fmt.Errorf("sim: %d shards need positive lookahead, got %v", shards, lookahead)
+	}
+	e := &ShardedEngine{
+		ranks:     ranks,
+		lookahead: lookahead,
+		handler:   h,
+		shardOf:   make([]int32, ranks),
+		counter:   make([]uint64, ranks),
+		digest:    make([]uint64, ranks),
+		mail:      make([][]shardEvt, shards*shards),
+		mcap:      DefaultMailboxCap,
+		done:      make(chan int, shards),
+	}
+	for s := 0; s < shards; s++ {
+		sh := &shard{idx: s, minAt: timeMax}
+		sh.ctx = ShardCtx{e: e, shard: int32(s)}
+		e.sh = append(e.sh, sh)
+		e.start = append(e.start, make(chan uint8, 1))
+	}
+	e.place(BlockPlacement(ranks, shards))
+	return e, nil
+}
+
+// BlockPlacement returns the default rank→shard map: contiguous
+// near-equal blocks (rank r goes to shard r*shards/ranks), which
+// keeps neighbor-heavy traffic shard-local under block-decomposed
+// workloads. internal/runtime uses the same function so engine-level
+// and world-level placement agree.
+func BlockPlacement(ranks, shards int) func(rank int) int {
+	if shards > ranks {
+		shards = ranks
+	}
+	return func(rank int) int { return rank * shards / ranks }
+}
+
+// SetPlacement overrides the rank→shard map. Must be called before
+// any Seed or Run; every rank must map into [0, Shards()).
+func (e *ShardedEngine) SetPlacement(f func(rank int) int) error {
+	if e.started || e.seeded() {
+		return errors.New("sim: SetPlacement after Seed or Run")
+	}
+	return e.place(f)
+}
+
+func (e *ShardedEngine) place(f func(rank int) int) error {
+	counts := make([]int, len(e.sh))
+	for r := 0; r < e.ranks; r++ {
+		s := f(r)
+		if s < 0 || s >= len(e.sh) {
+			return fmt.Errorf("sim: placement maps rank %d to shard %d of %d", r, s, len(e.sh))
+		}
+		e.shardOf[r] = int32(s)
+		counts[s]++
+	}
+	for i, sh := range e.sh {
+		sh.nranks = counts[i]
+	}
+	return nil
+}
+
+func (e *ShardedEngine) seeded() bool {
+	for _, sh := range e.sh {
+		if len(sh.heap) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SetMailboxCap bounds each per-(src,dst) shard mailbox to n events
+// per window (default DefaultMailboxCap). Exceeding the bound aborts
+// the run with an error rather than growing without limit.
+func (e *ShardedEngine) SetMailboxCap(n int) {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: mailbox cap must be >= 1, got %d", n))
+	}
+	e.mcap = n
+}
+
+// SetEventLimit aborts Run with an error after roughly n dispatched
+// events (checked at window barriers) — a runaway guard for tests.
+func (e *ShardedEngine) SetEventLimit(n int64) { e.eventLimit = n }
+
+// Shards returns the shard count (after clamping to the rank count).
+func (e *ShardedEngine) Shards() int { return len(e.sh) }
+
+// Ranks returns the rank count.
+func (e *ShardedEngine) Ranks() int { return e.ranks }
+
+// Lookahead returns the lookahead bound.
+func (e *ShardedEngine) Lookahead() Time { return e.lookahead }
+
+// ShardOf returns the shard owning a rank.
+func (e *ShardedEngine) ShardOf(rank int) int { return int(e.shardOf[rank]) }
+
+// allocKey draws the next stream key from rank's counter. Emission
+// order within a rank is deterministic, so the key stream — and with
+// it the (at, key) total order — is shard-count-invariant.
+func (e *ShardedEngine) allocKey(rank int32) uint64 {
+	c := e.counter[rank]
+	if c > counterMask {
+		panic(fmt.Sprintf("sim: rank %d exhausted its %d-bit event counter", rank, counterBits))
+	}
+	e.counter[rank] = c + 1
+	return uint64(rank)<<counterBits | c
+}
+
+// Seed schedules an initial event for rank at the given time, keyed
+// from the rank's own stream. Only valid before Run.
+func (e *ShardedEngine) Seed(rank int, at Time, kind uint32, a, b uint64) {
+	if e.started {
+		panic("sim: Seed after Run")
+	}
+	if rank < 0 || rank >= e.ranks {
+		panic(fmt.Sprintf("sim: Seed rank %d out of range [0,%d)", rank, e.ranks))
+	}
+	if at < 0 {
+		panic(fmt.Sprintf("sim: Seed at negative time %v", at))
+	}
+	r := int32(rank)
+	e.sh[e.shardOf[r]].push(shardEvt{at: at, key: e.allocKey(r), rank: r, kind: kind, a: a, b: b})
+}
+
+// ShardCtx is the handler's view of the engine while executing one
+// event: the current rank, its clock, and the emission primitives.
+// A ShardCtx is only valid for the duration of the handler call.
+type ShardCtx struct {
+	e     *ShardedEngine
+	shard int32
+	rank  int32
+	now   Time
+}
+
+// Now returns the executing event's timestamp.
+func (c *ShardCtx) Now() Time { return c.now }
+
+// Self returns the executing rank.
+func (c *ShardCtx) Self() int { return int(c.rank) }
+
+// After schedules a follow-up event for the executing rank itself,
+// delay >= 0 after Now.
+func (c *ShardCtx) After(delay Time, kind uint32, a, b uint64) {
+	if delay < 0 {
+		c.fail(fmt.Errorf("sim: rank %d After with negative delay %v", c.rank, delay))
+		return
+	}
+	sh := c.e.sh[c.shard]
+	sh.push(shardEvt{at: c.now + delay, key: c.e.allocKey(c.rank), rank: c.rank, kind: kind, a: a, b: b})
+}
+
+// Send schedules an event at rank `to`, delay after Now. Cross-rank
+// sends must respect the lookahead bound (delay >= Lookahead)
+// regardless of whether the destination shares the sender's shard —
+// the uniform rule keeps behavior, and any bound violations,
+// identical at every shard count. Same-shard destinations go straight
+// into the local heap; cross-shard destinations ride the bounded
+// mailbox and are delivered at the next window barrier (which the
+// lookahead bound guarantees is early enough).
+func (c *ShardCtx) Send(to int, delay Time, kind uint32, a, b uint64) {
+	e := c.e
+	if to < 0 || to >= e.ranks {
+		c.fail(fmt.Errorf("sim: rank %d sending to invalid rank %d", c.rank, to))
+		return
+	}
+	if int32(to) == c.rank {
+		c.After(delay, kind, a, b)
+		return
+	}
+	if delay < e.lookahead {
+		c.fail(fmt.Errorf("sim: rank %d sending to rank %d with delay %v below lookahead %v",
+			c.rank, to, delay, e.lookahead))
+		return
+	}
+	ev := shardEvt{at: c.now + delay, key: e.allocKey(c.rank), rank: int32(to), kind: kind, a: a, b: b}
+	dst := e.shardOf[to]
+	if dst == c.shard {
+		e.sh[c.shard].push(ev)
+		return
+	}
+	box := &e.mail[int(c.shard)*len(e.sh)+int(dst)]
+	if len(*box) >= e.mcap {
+		c.fail(fmt.Errorf("sim: mailbox shard %d -> %d over capacity %d (raise SetMailboxCap)",
+			c.shard, dst, e.mcap))
+		return
+	}
+	*box = append(*box, ev)
+}
+
+// fail records the first handler error on the executing shard; the
+// window aborts at the next event boundary and Run surfaces it.
+func (c *ShardCtx) fail(err error) {
+	sh := c.e.sh[c.shard]
+	if sh.err == nil {
+		sh.err = err
+	}
+}
+
+// push inserts into the shard's 4-ary min-heap ordered by (at, key).
+func (sh *shard) push(ev shardEvt) {
+	h := append(sh.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !evLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	sh.heap = h
+}
+
+// pop removes and returns the heap minimum.
+func (sh *shard) pop() shardEvt {
+	h := sh.heap
+	min := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	sh.heap = h
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= last {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > last {
+			end = last
+		}
+		for j := c + 1; j < end; j++ {
+			if evLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !evLess(h[m], h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return min
+}
+
+// mix folds one word into an order-sensitive digest (FNV-style: xor
+// then multiply by the 64-bit FNV prime).
+// fnvOffsetBasis seeds every event-order digest (FNV-1a offset basis).
+const fnvOffsetBasis uint64 = 1469598103934665603
+
+func mixDigest(h, v uint64) uint64 { return (h ^ v) * 1099511628211 }
+
+// exec runs one window: pop and dispatch every event with at < w1,
+// folding each into its rank's digest.
+func (e *ShardedEngine) exec(sh *shard, w1 Time) {
+	t0 := time.Now()
+	ctx := &sh.ctx
+	for len(sh.heap) > 0 && sh.err == nil {
+		if sh.heap[0].at >= w1 {
+			break
+		}
+		ev := sh.pop()
+		ctx.now = ev.at
+		ctx.rank = ev.rank
+		d := e.digest[ev.rank]
+		d = mixDigest(d, uint64(ev.at))
+		d = mixDigest(d, ev.key)
+		d = mixDigest(d, uint64(ev.kind))
+		d = mixDigest(d, ev.a)
+		d = mixDigest(d, ev.b)
+		e.digest[ev.rank] = d
+		sh.executed++
+		e.handler(ctx, ShardEvent{At: ev.at, Kind: ev.kind, A: ev.a, B: ev.b})
+	}
+	sh.busy += time.Since(t0)
+}
+
+// drain moves every mailbox addressed to the shard into its heap and
+// recomputes the heap-min horizon for the next window bound.
+func (e *ShardedEngine) drain(sh *shard) {
+	k := len(e.sh)
+	for src := 0; src < k; src++ {
+		box := &e.mail[src*k+sh.idx]
+		for _, ev := range *box {
+			sh.push(ev)
+		}
+		*box = (*box)[:0]
+	}
+	if len(sh.heap) > 0 {
+		sh.minAt = sh.heap[0].at
+	} else {
+		sh.minAt = timeMax
+	}
+}
+
+// worker is one shard's persistent goroutine: it executes phase
+// commands until told to quit. All shared-state handoff happens
+// through the start/done channel barrier.
+func (e *ShardedEngine) worker(sh *shard) {
+	for cmd := range e.start[sh.idx] {
+		switch cmd {
+		case cmdExec:
+			e.exec(sh, e.w1)
+		case cmdDrain:
+			e.drain(sh)
+		case cmdQuit:
+			e.done <- sh.idx
+			return
+		}
+		e.done <- sh.idx
+	}
+}
+
+// barrier broadcasts one phase command and waits for every shard.
+func (e *ShardedEngine) barrier(cmd uint8) {
+	for _, ch := range e.start {
+		ch <- cmd
+	}
+	for range e.sh {
+		<-e.done
+	}
+}
+
+// Run drives the simulation to completion: repeated conservative
+// windows of parallel execution and mailbox drains until every heap
+// and mailbox is empty. Run may be called once; it returns the first
+// handler/bound violation, or an ErrShardEventLimit-wrapped error if
+// the event limit tripped.
+func (e *ShardedEngine) Run() error {
+	if e.started {
+		return errors.New("sim: ShardedEngine.Run called twice")
+	}
+	e.started = true
+	for _, sh := range e.sh {
+		go e.worker(sh)
+	}
+	// Initial horizons come straight from the seeded heaps.
+	for _, sh := range e.sh {
+		if len(sh.heap) > 0 {
+			sh.minAt = sh.heap[0].at
+		} else {
+			sh.minAt = timeMax
+		}
+	}
+	for e.err == nil {
+		minNext := timeMax
+		for _, sh := range e.sh {
+			if sh.minAt < minNext {
+				minNext = sh.minAt
+			}
+		}
+		if minNext == timeMax {
+			break // every heap empty, every mailbox drained: done
+		}
+		if len(e.sh) == 1 || minNext > timeMax-e.lookahead {
+			// A single shard needs no conservative bound: one window
+			// runs the whole simulation in global (at, key) order.
+			// (The overflow guard near timeMax degrades to the same.)
+			e.w1 = timeMax
+		} else {
+			e.w1 = minNext + e.lookahead
+		}
+		e.barrier(cmdExec)
+		e.barrier(cmdDrain)
+		for _, sh := range e.sh {
+			if sh.err != nil && e.err == nil {
+				e.err = sh.err
+			}
+		}
+		if e.eventLimit > 0 && e.Executed() > e.eventLimit {
+			if e.err == nil {
+				e.err = fmt.Errorf("sim: sharded engine exceeded event limit %d", e.eventLimit)
+			}
+		}
+	}
+	e.barrier(cmdQuit)
+	e.finished = true
+	return e.err
+}
+
+// Executed returns the total number of dispatched events.
+func (e *ShardedEngine) Executed() int64 {
+	var n int64
+	for _, sh := range e.sh {
+		n += sh.executed
+	}
+	return n
+}
+
+// RankDigest returns rank's event-order digest: an order-sensitive
+// fold of every event the rank executed. Identical digests across
+// shard counts certify identical per-rank execution sequences.
+func (e *ShardedEngine) RankDigest(rank int) uint64 { return e.digest[rank] }
+
+// Digest combines every rank digest in rank order into one
+// shard-count-invariant summary of the full execution.
+func (e *ShardedEngine) Digest() uint64 {
+	h := fnvOffsetBasis
+	for _, d := range e.digest {
+		h = mixDigest(h, d)
+	}
+	return h
+}
+
+// ShardStats returns per-shard execution summaries in shard order.
+func (e *ShardedEngine) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(e.sh))
+	for i, sh := range e.sh {
+		out[i] = ShardStats{Ranks: sh.nranks, Executed: sh.executed, Busy: sh.busy}
+	}
+	return out
+}
+
+// BusyWall summarizes parallel efficiency for a run that took `wall`
+// of wall-clock time: the summed per-shard busy time divided by wall.
+// On an N-core runner an ideally scaling workload approaches N; on a
+// single-core runner it approaches 1 from below (the gap is barrier
+// and scheduling overhead), which is why BENCH_sim.json records this
+// ratio alongside events/sec when the runner cannot demonstrate
+// wall-clock speedup.
+func (e *ShardedEngine) BusyWall(wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	var busy time.Duration
+	for _, sh := range e.sh {
+		busy += sh.busy
+	}
+	return float64(busy) / float64(wall)
+}

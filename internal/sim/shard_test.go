@@ -1,0 +1,292 @@
+package sim_test
+
+// Tests for the sharded conservative-lookahead engine: the
+// shard-count-invariance property (digests and full per-rank event
+// traces identical at every shard count), the bound-enforcement and
+// misuse errors, and the placement policy.
+
+import (
+	"strings"
+	"testing"
+
+	"msgroofline/internal/sim"
+	"msgroofline/internal/sim/simbench"
+)
+
+// TestShardedDigestInvariant is the headline determinism property:
+// the PHOLD workload's event-order digest, executed-event count, and
+// per-rank digests are byte-identical at shards 1, 2, 3, 4, and 8
+// across 50 workload seeds.
+func TestShardedDigestInvariant(t *testing.T) {
+	const ranks, events = 192, 4000
+	for seed := uint64(1); seed <= 50; seed++ {
+		ref := simbench.ShardedPhold(ranks, 1, events, seed)
+		for _, shards := range []int{2, 3, 4, 8} {
+			e := simbench.ShardedPhold(ranks, shards, events, seed)
+			if e.Executed() != ref.Executed() {
+				t.Fatalf("seed %d shards %d: executed %d events, want %d",
+					seed, shards, e.Executed(), ref.Executed())
+			}
+			if e.Digest() != ref.Digest() {
+				t.Fatalf("seed %d shards %d: digest %#x, want %#x",
+					seed, shards, e.Digest(), ref.Digest())
+			}
+			for r := 0; r < ranks; r++ {
+				if e.RankDigest(r) != ref.RankDigest(r) {
+					t.Fatalf("seed %d shards %d: rank %d digest %#x, want %#x",
+						seed, shards, r, e.RankDigest(r), ref.RankDigest(r))
+				}
+			}
+		}
+	}
+}
+
+// traceWorkload runs a small all-to-all workload recording every
+// rank's executed (at, kind, a) sequence — the raw form of the
+// invariance the digests summarize.
+func traceWorkload(t *testing.T, ranks, shards int, seed uint64) [][]sim.ShardEvent {
+	t.Helper()
+	const lookahead = 5 * sim.Microsecond
+	traces := make([][]sim.ShardEvent, ranks)
+	e, err := sim.NewSharded(ranks, shards, lookahead, func(ctx *sim.ShardCtx, ev sim.ShardEvent) {
+		me := ctx.Self()
+		traces[me] = append(traces[me], ev)
+		if ev.A == 0 {
+			return
+		}
+		// Deterministic per-rank fan: one forward hop plus a periodic
+		// self-wakeup, so streams interleave self and cross events.
+		dst := (me*7 + int(ev.A)) % ranks
+		ctx.Send(dst, lookahead+sim.Time(me%3)*sim.Nanosecond, 2, ev.A-1, ev.B)
+		if ev.A%4 == 0 && ev.Kind != 3 {
+			ctx.After(0, 3, ev.A, ev.B)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetEventLimit(1 << 20) // hang guard: this workload is ~10k events
+	for r := 0; r < ranks; r++ {
+		e.Seed(r, sim.Time(seed%31)*sim.Nanosecond, 1, uint64(10+r%5), uint64(r))
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return traces
+}
+
+// TestShardedSeqAllocatorInvariant is the seq-allocator property
+// test: because event keys are drawn from the originating rank's own
+// counter, every rank's executed-event sequence — not just its hash —
+// must be identical at any shard count, including zero-delay
+// self-sends racing cross-rank arrivals at equal timestamps.
+func TestShardedSeqAllocatorInvariant(t *testing.T) {
+	const ranks = 24
+	for seed := uint64(0); seed < 8; seed++ {
+		ref := traceWorkload(t, ranks, 1, seed)
+		for _, shards := range []int{2, 4, 5} {
+			got := traceWorkload(t, ranks, shards, seed)
+			for r := 0; r < ranks; r++ {
+				if len(got[r]) != len(ref[r]) {
+					t.Fatalf("seed %d shards %d rank %d: %d events, want %d",
+						seed, shards, r, len(got[r]), len(ref[r]))
+				}
+				for i := range got[r] {
+					if got[r][i] != ref[r][i] {
+						t.Fatalf("seed %d shards %d rank %d event %d: %+v, want %+v",
+							seed, shards, r, i, got[r][i], ref[r][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedRerunDeterministic replays one configuration twice and
+// expects bit-equal digests: the parallel execution itself is
+// reproducible, not just shard-count-invariant.
+func TestShardedRerunDeterministic(t *testing.T) {
+	a := simbench.ShardedPhold(100, 4, 3000, 7)
+	b := simbench.ShardedPhold(100, 4, 3000, 7)
+	if a.Digest() != b.Digest() || a.Executed() != b.Executed() {
+		t.Fatalf("rerun diverged: digest %#x/%#x, executed %d/%d",
+			a.Digest(), b.Digest(), a.Executed(), b.Executed())
+	}
+}
+
+// TestShardedLookaheadEnforced proves the uniform bound rule: a
+// cross-rank send below the lookahead is rejected even when source
+// and destination share a shard, so violations cannot hide at low
+// shard counts.
+func TestShardedLookaheadEnforced(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		e, err := sim.NewSharded(8, shards, sim.Microsecond, func(ctx *sim.ShardCtx, ev sim.ShardEvent) {
+			// Rank 0 -> rank 1 are co-resident under block placement at
+			// both shard counts; the short delay must still be rejected.
+			ctx.Send(ctx.Self()+1, sim.Nanosecond, 1, 0, 0)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Seed(0, 0, 1, 0, 0)
+		err = e.Run()
+		if err == nil || !strings.Contains(err.Error(), "below lookahead") {
+			t.Fatalf("shards %d: want lookahead violation, got %v", shards, err)
+		}
+	}
+}
+
+// TestShardedSelfSendAnyDelay checks that After and self-directed
+// Send accept delays below the lookahead, including zero.
+func TestShardedSelfSendAnyDelay(t *testing.T) {
+	var n int
+	e, err := sim.NewSharded(4, 2, sim.Microsecond, func(ctx *sim.ShardCtx, ev sim.ShardEvent) {
+		if ctx.Self() == 0 {
+			n++
+		}
+		if ev.A > 0 {
+			ctx.Send(ctx.Self(), 0, 1, ev.A-1, 0) // self via Send
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Seed(0, 0, 1, 9, 0)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("executed %d self events, want 10", n)
+	}
+}
+
+// TestShardedMailboxBound checks that a window emitting more
+// cross-shard events than the mailbox capacity aborts with a clear
+// error instead of growing without limit.
+func TestShardedMailboxBound(t *testing.T) {
+	const fan = 64
+	e, err := sim.NewSharded(2, 2, sim.Microsecond, func(ctx *sim.ShardCtx, ev sim.ShardEvent) {
+		for i := 0; i < fan; i++ {
+			ctx.Send(1, sim.Microsecond+sim.Time(i), 1, 0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetMailboxCap(8)
+	e.Seed(0, 0, 1, 0, 0)
+	err = e.Run()
+	if err == nil || !strings.Contains(err.Error(), "over capacity") {
+		t.Fatalf("want mailbox capacity error, got %v", err)
+	}
+}
+
+// TestShardedEventLimit checks the runaway guard.
+func TestShardedEventLimit(t *testing.T) {
+	e, err := sim.NewSharded(2, 2, sim.Microsecond, func(ctx *sim.ShardCtx, ev sim.ShardEvent) {
+		ctx.Send(1-ctx.Self(), sim.Microsecond, 1, 0, 0) // ping-pong forever
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetEventLimit(100)
+	e.Seed(0, 0, 1, 0, 0)
+	err = e.Run()
+	if err == nil || !strings.Contains(err.Error(), "event limit") {
+		t.Fatalf("want event limit error, got %v", err)
+	}
+}
+
+// TestShardedConstructionErrors covers NewSharded validation and the
+// single-Run contract.
+func TestShardedConstructionErrors(t *testing.T) {
+	h := func(ctx *sim.ShardCtx, ev sim.ShardEvent) {}
+	if _, err := sim.NewSharded(0, 1, 0, h); err == nil {
+		t.Error("want error for 0 ranks")
+	}
+	if _, err := sim.NewSharded(4, 0, 0, h); err == nil {
+		t.Error("want error for 0 shards")
+	}
+	if _, err := sim.NewSharded(4, 2, 0, h); err == nil {
+		t.Error("want error for multi-shard without lookahead")
+	}
+	if _, err := sim.NewSharded(4, 1, 0, nil); err == nil {
+		t.Error("want error for nil handler")
+	}
+	e, err := sim.NewSharded(8, 16, sim.Microsecond, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Shards() != 8 {
+		t.Errorf("shards clamp: got %d, want 8", e.Shards())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err == nil {
+		t.Error("want error for second Run")
+	}
+}
+
+// TestShardedPlacement checks the default block map and the
+// SetPlacement override path.
+func TestShardedPlacement(t *testing.T) {
+	f := sim.BlockPlacement(10, 4)
+	prev := 0
+	seen := map[int]bool{}
+	for r := 0; r < 10; r++ {
+		s := f(r)
+		if s < prev || s >= 4 {
+			t.Fatalf("block placement not monotone in range: rank %d -> shard %d", r, s)
+		}
+		prev = s
+		seen[s] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("block placement used %d shards, want 4", len(seen))
+	}
+
+	h := func(ctx *sim.ShardCtx, ev sim.ShardEvent) {}
+	e, err := sim.NewSharded(8, 2, sim.Microsecond, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetPlacement(func(rank int) int { return rank % 2 }); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.ShardOf(3); got != 1 {
+		t.Fatalf("ShardOf(3) = %d after round-robin placement, want 1", got)
+	}
+	if err := e.SetPlacement(func(rank int) int { return 5 }); err == nil {
+		t.Error("want error for out-of-range placement")
+	}
+	e.Seed(0, 0, 1, 0, 0)
+	if err := e.SetPlacement(func(rank int) int { return 0 }); err == nil {
+		t.Error("want error for SetPlacement after Seed")
+	}
+}
+
+// TestShardedStats sanity-checks the per-shard summaries and the
+// busy/wall ratio plumbing used by the BENCH_sim.json emitter.
+func TestShardedStats(t *testing.T) {
+	e := simbench.ShardedPhold(64, 4, 2000, 3)
+	st := e.ShardStats()
+	if len(st) != 4 {
+		t.Fatalf("got %d shard stats, want 4", len(st))
+	}
+	var executed int64
+	ranks := 0
+	for _, s := range st {
+		executed += s.Executed
+		ranks += s.Ranks
+	}
+	if executed != e.Executed() {
+		t.Fatalf("shard executed sum %d != total %d", executed, e.Executed())
+	}
+	if ranks != 64 {
+		t.Fatalf("shard rank sum %d != 64", ranks)
+	}
+	if e.BusyWall(0) != 0 {
+		t.Error("BusyWall(0) should be 0")
+	}
+}

@@ -30,7 +30,7 @@ func Run(cfg Config) (*Result, error) {
 	t, err := comm.New(comm.Spec{
 		Machine: cfg.Machine, Kind: cfg.Transport, Ranks: cfg.Ranks,
 		StreamSlots: counts, SlotBytes: stride, PollCheck: cfg.PollCheck,
-		Perturb: cfg.Perturb, Faults: cfg.Faults,
+		Shards: cfg.Shards, Perturb: cfg.Perturb, Faults: cfg.Faults,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sptrsv %s: %w", cfg.Transport, err)
@@ -85,37 +85,6 @@ func Run(cfg Config) (*Result, error) {
 	}
 	rec := t.Recorder()
 	return &Result{Elapsed: t.Elapsed(), Comm: rec.Summarize(t.Elapsed()),
-		Matrix: rec.Matrix(cfg.Ranks), X: x, Ranks: cfg.Ranks}, nil
-}
-
-// RunTwoSided executes the two-sided design.
-//
-// Deprecated: set Config.Transport and call Run.
-func RunTwoSided(cfg Config) (*Result, error) {
-	cfg.Transport = comm.TwoSided
-	return Run(cfg)
-}
-
-// RunOneSided executes the strict one-sided design.
-//
-// Deprecated: set Config.Transport and call Run.
-func RunOneSided(cfg Config) (*Result, error) {
-	cfg.Transport = comm.OneSided
-	return Run(cfg)
-}
-
-// RunGPU executes the NVSHMEM design.
-//
-// Deprecated: set Config.Transport and call Run.
-func RunGPU(cfg Config) (*Result, error) {
-	cfg.Transport = comm.Shmem
-	return Run(cfg)
-}
-
-// RunNotified executes the notified-access extension design.
-//
-// Deprecated: set Config.Transport and call Run.
-func RunNotified(cfg Config) (*Result, error) {
-	cfg.Transport = comm.Notified
-	return Run(cfg)
+		Matrix: rec.Matrix(cfg.Ranks), X: x, Ranks: cfg.Ranks,
+		EventDigest: t.Engine().Digest()}, nil
 }

@@ -60,6 +60,10 @@ type Config struct {
 	// PollCheck overrides DefaultPollCheck when nonzero; the
 	// free-polling ablation passes a negative value to zero it.
 	PollCheck sim.Time
+	// Shards is the engine shard count recorded on the simulated
+	// world (0 means 1; results are byte-identical at every value —
+	// see comm.Spec.Shards).
+	Shards int
 	// Perturb, when non-nil, installs engine schedule fuzzing
 	// (conformance harness only; nil leaves runs byte-identical).
 	Perturb *sim.Perturbation
@@ -101,6 +105,10 @@ type Result struct {
 	X []float64
 	// Ranks is the number of processes used.
 	Ranks int
+	// EventDigest is the engine's event-order fingerprint
+	// (sim.Engine.Digest) captured after the run; the shard-determinism
+	// suite compares it across shard counts.
+	EventDigest uint64
 }
 
 // Rhs builds the deterministic right-hand side used by all runs.

@@ -52,7 +52,7 @@ func TestConfigValidation(t *testing.T) {
 		t.Fatal("0 ranks should fail")
 	}
 	if _, err := Run(Config{Machine: mc(t, "perlmutter-cpu"), Transport: comm.Shmem, Matrix: testMatrix(t), Ranks: 2}); err == nil {
-		t.Fatal("RunGPU on CPU machine should fail")
+		t.Fatal("shmem transport on CPU machine should fail")
 	}
 }
 

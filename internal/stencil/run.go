@@ -45,7 +45,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	t, err := comm.New(comm.Spec{
 		Machine: cfg.Machine, Kind: cfg.Transport, Ranks: ranks,
-		ExchangeSlots: 4, SlotBytes: slot,
+		ExchangeSlots: 4, SlotBytes: slot, Shards: cfg.Shards,
 		Perturb: cfg.Perturb, Faults: cfg.Faults,
 	})
 	if err != nil {
@@ -102,31 +102,9 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stencil %s: %w", cfg.Transport, err)
 	}
-	return finish(cfg, t.Elapsed(), t.Recorder(), sums, ranks), nil
-}
-
-// RunTwoSided executes the two-sided variant.
-//
-// Deprecated: set Config.Transport and call Run.
-func RunTwoSided(cfg Config) (*Result, error) {
-	cfg.Transport = comm.TwoSided
-	return Run(cfg)
-}
-
-// RunOneSided executes the one-sided fence-epoch variant.
-//
-// Deprecated: set Config.Transport and call Run.
-func RunOneSided(cfg Config) (*Result, error) {
-	cfg.Transport = comm.OneSided
-	return Run(cfg)
-}
-
-// RunGPU executes the NVSHMEM put-with-signal variant.
-//
-// Deprecated: set Config.Transport and call Run.
-func RunGPU(cfg Config) (*Result, error) {
-	cfg.Transport = comm.Shmem
-	return Run(cfg)
+	res := finish(cfg, t.Elapsed(), t.Recorder(), sums, ranks)
+	res.EventDigest = t.Engine().Digest()
+	return res, nil
 }
 
 func finish(cfg Config, elapsed sim.Time, rec *trace.Recorder, sums []float64, ranks int) *Result {

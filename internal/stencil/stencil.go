@@ -47,6 +47,10 @@ type Config struct {
 	// Verify allocates real grids and checks the result against the
 	// serial reference. Use small Grid values with it.
 	Verify bool
+	// Shards is the engine shard count recorded on the simulated
+	// world (0 means 1; results are byte-identical at every value —
+	// see comm.Spec.Shards).
+	Shards int
 	// Perturb, when non-nil, installs engine schedule fuzzing
 	// (conformance harness only; nil leaves runs byte-identical).
 	Perturb *sim.Perturbation
@@ -69,6 +73,10 @@ type Result struct {
 	Checksum float64
 	// Ranks is the number of processes used.
 	Ranks int
+	// EventDigest is the engine's event-order fingerprint
+	// (sim.Engine.Digest) captured after the run; the shard-determinism
+	// suite compares it across shard counts.
+	EventDigest uint64
 }
 
 func (c Config) validate() error {

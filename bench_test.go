@@ -22,6 +22,7 @@ import (
 	"msgroofline/internal/hashtable"
 	"msgroofline/internal/machine"
 	"msgroofline/internal/pointcache"
+	simruntime "msgroofline/internal/runtime"
 	"msgroofline/internal/shmem"
 	"msgroofline/internal/sim"
 	"msgroofline/internal/sim/simbench"
@@ -457,11 +458,34 @@ type shardedPerfRecord struct {
 	BusyWall     float64 `json:"busy_wall"`
 }
 
+// coupledPerfRecord is one "sharded-coupled/v1" measurement:
+// throughput of a real coupled-stack workload (the 64-rank one-sided
+// stencil on frontier-cpu, whose fabric decomposes into 4 node-group
+// engines) at one -shards worker count. Events/sec shows the speedup
+// on multi-core runners; busy/wall is the honest efficiency figure
+// everywhere (see sim.CoupledEngine.BusyWall).
+type coupledPerfRecord struct {
+	Record       string  `json:"record"` // always "sharded-coupled/v1"
+	Label        string  `json:"label"`
+	Date         string  `json:"date"`
+	Workload     string  `json:"workload"`
+	Ranks        int     `json:"ranks"`
+	Groups       int     `json:"groups"`
+	Shards       int     `json:"shards"`
+	Cores        int     `json:"cores"`
+	Windows      uint64  `json:"windows"`
+	Events       int64   `json:"events"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	BusyWall     float64 `json:"busy_wall"`
+}
+
 type simPerfFile struct {
 	Schema    string              `json:"schema"`
 	Records   []simPerfRecord     `json:"records"`
 	SuiteWall []suiteWallRecord   `json:"suite_wall,omitempty"`
 	Sharded   []shardedPerfRecord `json:"sharded,omitempty"`
+	Coupled   []coupledPerfRecord `json:"coupled,omitempty"`
 }
 
 const simPerfPath = "BENCH_sim.json"
@@ -645,4 +669,78 @@ func TestRecordSimPerfTrajectory(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("appended %d records to %s", len(recs), simPerfPath)
+}
+
+// TestRecordCoupledPerf appends sharded-coupled/v1 records to
+// BENCH_sim.json:
+//
+//	BENCH_COUPLED_RECORD=<label> go test -run TestRecordCoupledPerf .
+//
+// It runs the 64-rank one-sided stencil on frontier-cpu — whose four
+// NUMA quadrants give the coupled engine four node-group sub-engines
+// — at -shards 1, 2, and 4 and records events/sec together with the
+// busy/wall ratio. Simulated output is identical at every shard
+// count; only the wall-clock numbers move.
+func TestRecordCoupledPerf(t *testing.T) {
+	label := os.Getenv("BENCH_COUPLED_RECORD")
+	if label == "" {
+		t.Skip("set BENCH_COUPLED_RECORD=<label> to append coupled-stack throughput to BENCH_sim.json")
+	}
+	cfg, err := machine.Get("frontier-cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	date := time.Now().UTC().Format("2006-01-02")
+	var recs []coupledPerfRecord
+	for _, shards := range []int{1, 2, 4} {
+		before := simruntime.Usage()
+		start := time.Now()
+		if _, err := stencil.Run(stencil.Config{
+			Machine: cfg, Transport: comm.OneSided,
+			Grid: 512, Iters: 96, PX: 8, PY: 8, Shards: shards,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		wall := time.Since(start)
+		after := simruntime.Usage()
+		var events int64
+		for _, n := range after.Events {
+			events += n
+		}
+		for _, n := range before.Events {
+			events -= n
+		}
+		busy := after.Busy - before.Busy
+		nsPerEvent := float64(wall.Nanoseconds()) / float64(events)
+		r := coupledPerfRecord{
+			Record: "sharded-coupled/v1", Label: label, Date: date,
+			Workload: "stencil/one-sided/frontier-cpu",
+			Ranks:    64, Groups: len(after.Events), Shards: shards,
+			Cores:        runtime.NumCPU(),
+			Windows:      after.Windows - before.Windows,
+			Events:       events,
+			NsPerEvent:   nsPerEvent,
+			EventsPerSec: 1e9 / nsPerEvent,
+			BusyWall:     float64(busy) / float64(wall),
+		}
+		recs = append(recs, r)
+		t.Logf("shards=%d: %d events over %d windows, %.1f ns/event, %.2fM events/sec, busy/wall %.2f",
+			shards, r.Events, r.Windows, nsPerEvent, r.EventsPerSec/1e6, r.BusyWall)
+	}
+	var f simPerfFile
+	if data, err := os.ReadFile(simPerfPath); err == nil && len(data) > 0 {
+		if err := json.Unmarshal(data, &f); err != nil {
+			t.Fatalf("parse %s: %v", simPerfPath, err)
+		}
+	}
+	f.Schema = "sim-engine-perf/v1"
+	f.Coupled = append(f.Coupled, recs...)
+	out, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(simPerfPath, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("appended %d sharded-coupled records to %s", len(recs), simPerfPath)
 }

@@ -14,11 +14,14 @@
 // stderr. With -csv DIR each experiment's series are written to
 // DIR/<id>.csv.
 //
-// -shards records the engine shard count on every simulated world.
-// The coupled communication stacks execute sequentially at every
-// value, so stdout is byte-identical at any -shards setting (the CI
+// -shards sets the window worker parallelism of every simulated
+// world. Worlds decompose into per-node-group sequential engines
+// coupled by a conservative-lookahead window protocol; the
+// decomposition and the event order are topology-determined, so
+// stdout is byte-identical at any -shards setting (the CI
 // shard-determinism job compares -shards 1 and -shards 4 against the
-// committed golden byte for byte).
+// committed golden byte for byte, and greps the stderr shard
+// utilization line to prove the grouped path ran).
 //
 // -cache memoizes every simulated sweep point, CAS latency, and split
 // run by content address (internal/pointcache): "mem" (the default)
@@ -129,4 +132,5 @@ func main() {
 	common.ReportSched("suite", stats)
 	fmt.Fprintf(os.Stderr, "plan: %s\n", planStats)
 	common.ReportCache(cache)
+	common.ReportShards("shards")
 }

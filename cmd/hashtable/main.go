@@ -65,6 +65,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	defer common.ReportShards("shards")
 	fmt.Printf("machine=%s variant=%s ranks=%d inserts=%d (per process %d)\n",
 		mcfg.Name, *variant, res.Ranks, cfg.TotalInserts, perProcess)
 	fmt.Printf("time          %v\n", res.Elapsed)

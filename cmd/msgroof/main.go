@@ -65,6 +65,7 @@ func main() {
 	if *split {
 		runSplit(cfg, cache, *csvPath)
 		common.ReportCache(cache)
+		common.ReportShards("shards")
 		return
 	}
 	ns := bench.DefaultNs()
@@ -108,6 +109,7 @@ func main() {
 	fmt.Printf("peak measured %.2f GB/s of %.0f GB/s theoretical\n", res.MaxGBs(), cfg.TheoreticalGBs)
 	common.ReportSched("sweep", res.Sched.Host)
 	common.ReportCache(cache)
+	common.ReportShards("shards")
 	writeCSV(*csvPath, res.Series())
 }
 

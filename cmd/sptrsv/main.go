@@ -59,6 +59,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	defer common.ReportShards("shards")
 	fmt.Printf("machine=%s variant=%s ranks=%d\n", cfg.Name, *variant, res.Ranks)
 	fmt.Printf("matrix: %d x %d, %d supernodes, %d nnz, %d DAG edges, %d levels\n",
 		m.N, m.N, m.NumSupernodes(), m.NNZ(), m.Edges(), len(m.Levels()))

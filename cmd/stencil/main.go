@@ -61,6 +61,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	defer common.ReportShards("shards")
 	fmt.Printf("machine=%s variant=%s grid=%d iters=%d ranks=%d\n", cfg.Name, *variant, grid, iters, res.Ranks)
 	fmt.Printf("total time   %v\n", res.Elapsed)
 	fmt.Printf("per iteration %v\n", res.PerIter)

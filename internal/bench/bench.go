@@ -148,11 +148,11 @@ type Spec struct {
 	// sweep result is byte-identical at any cache mode. Nil disables
 	// caching.
 	Cache *pointcache.Cache
-	// Shards is the engine shard count recorded on each point's
-	// simulated world (0 means 1). The coupled stacks execute on the
-	// sequential engine regardless, so points are byte-identical at
-	// every value — which is also why Shards is deliberately absent
-	// from the pointcache key (PointSpec.Key).
+	// Shards is the window worker parallelism of each point's
+	// simulated world (0 means 1). The node-group decomposition and
+	// event order are topology-determined, so points are
+	// byte-identical at every value — which is also why Shards is
+	// deliberately absent from the pointcache key (PointSpec.Key).
 	Shards int
 }
 
@@ -184,10 +184,10 @@ type PointSpec struct {
 	Ranks int
 	N     int
 	Bytes int64
-	// Shards is the engine shard count recorded on the point's world.
-	// It can never change the simulated outcome (the coupled stacks
-	// run sequentially at any value), so Key deliberately excludes it:
-	// a point cached at -shards 1 is a valid hit at -shards 4.
+	// Shards is the window worker parallelism of the point's world.
+	// It can never change the simulated outcome (workers only execute
+	// already-committed windows), so Key deliberately excludes it: a
+	// point cached at -shards 1 is a valid hit at -shards 4.
 	Shards int
 }
 

@@ -27,6 +27,7 @@ import (
 	"runtime/pprof"
 
 	"msgroofline/internal/pointcache"
+	simruntime "msgroofline/internal/runtime"
 	"msgroofline/internal/sched"
 )
 
@@ -36,11 +37,12 @@ type Common struct {
 	// independent simulations (sweep points, experiments). Output is
 	// byte-identical at any value.
 	Jobs int
-	// Shards is the engine shard count recorded on every simulated
-	// world (0 means 1). The coupled communication stacks execute
-	// sequentially at every value, so command output is byte-identical
-	// at any -shards setting; rank-confined workloads scale through
-	// sim.ShardedEngine (see DESIGN.md §11).
+	// Shards sets the window worker parallelism of every simulated
+	// world (0 means 1). Worlds decompose into per-node-group
+	// sequential engines coupled by a conservative-lookahead window
+	// protocol; -shards only caps how many groups execute a window
+	// concurrently, so command output is byte-identical at any
+	// -shards setting (see DESIGN.md §11).
 	Shards int
 	// CacheMode is the raw -cache value (off, mem or disk).
 	CacheMode string
@@ -64,7 +66,7 @@ func Register(fs *flag.FlagSet, prog, defaultCache string) *Common {
 	fs.IntVar(&c.Jobs, "jobs", runtime.NumCPU(),
 		"number of independent simulations run concurrently (output is byte-identical at any value)")
 	fs.IntVar(&c.Shards, "shards", 1,
-		"engine shard count recorded on simulated worlds (output is byte-identical at any value)")
+		"window worker parallelism of simulated worlds (output is byte-identical at any value)")
 	fs.StringVar(&c.CacheMode, "cache", defaultCache, "point-cache mode: off, mem or disk")
 	fs.StringVar(&c.CacheDir, "cache-dir", filepath.Join(os.TempDir(), "msgroofline-pointcache"),
 		"entry directory for -cache=disk")
@@ -140,4 +142,20 @@ func (c *Common) ReportCache(cache *pointcache.Cache) {
 	if cache.Enabled() {
 		fmt.Fprintf(os.Stderr, "cache (%s): %s\n", c.CacheMode, cache.Stats())
 	}
+}
+
+// ReportShards prints the shared one-line shard-utilization summary
+// to stderr: how many worlds ran, how many of them decomposed into
+// multiple node groups, the conservative windows executed, the
+// executed events summed by node-group index, and the largest window
+// worker parallelism used. The CI shard-determinism job greps this
+// line to assert the grouped path really ran — a silent fallback to
+// one sequential engine would show grouped=0.
+func (c *Common) ReportShards(label string) {
+	u := simruntime.Usage()
+	if u.Worlds == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: worlds=%d grouped=%d windows=%d workers<=%d events/group=%v\n",
+		label, u.Worlds, u.Grouped, u.Windows, u.MaxWorkers, u.Events)
 }

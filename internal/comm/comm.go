@@ -36,6 +36,7 @@ import (
 
 	"msgroofline/internal/machine"
 	"msgroofline/internal/netsim"
+	"msgroofline/internal/runtime"
 	"msgroofline/internal/sim"
 	"msgroofline/internal/trace"
 )
@@ -147,11 +148,12 @@ type Spec struct {
 	// SharedBytes sizes the per-rank atomics heap.
 	SharedBytes int
 
-	// Shards is the engine shard count recorded on the world (<= 0
-	// means 1). The coupled transports always execute on the
-	// sequential engine — simulated output is byte-identical at every
-	// value — so this is placement metadata plus the -shards plumbing
-	// for the rank-confined sim.ShardedEngine path (DESIGN.md §11).
+	// Shards is the -shards worker count for the world (<= 0 means 1):
+	// how many fabric node groups of the coupled conservative-lookahead
+	// engine may execute a window concurrently. Simulated output is
+	// byte-identical at every value — the group structure and the
+	// barrier total order are topology-determined (DESIGN.md §11) — so
+	// Shards buys wall-clock parallelism without touching results.
 	Shards int
 
 	// Perturb, when non-nil, installs engine schedule fuzzing
@@ -164,10 +166,12 @@ type Spec struct {
 }
 
 // applyChaos installs the conformance harness's opt-in schedule
-// perturbation and network fault injection on a freshly built world.
-func (s Spec) applyChaos(eng *sim.Engine, net *netsim.Network) {
+// perturbation and network fault injection on a freshly built world
+// (perturbation fans out to every node-group engine as its own
+// decision stream).
+func (s Spec) applyChaos(w *runtime.World, net *netsim.Network) {
 	if s.Perturb != nil {
-		eng.SetPerturbation(s.Perturb)
+		w.SetPerturbation(s.Perturb)
 	}
 	if s.Faults != nil {
 		net.SetFaults(s.Faults)
@@ -209,8 +213,9 @@ type Transport interface {
 	Kind() Kind
 	Caps() Caps
 	Ranks() int
-	// Engine exposes the simulation engine (conformance replay).
-	Engine() *sim.Engine
+	// Digest folds the per-group event-order digests of the run (the
+	// shard-determinism certificate; see runtime.World.Digest).
+	Digest() uint64
 	// Launch runs body once per rank as a simulated process and
 	// blocks until the world drains.
 	Launch(body func(Endpoint)) error

@@ -43,7 +43,7 @@ func newRMA(spec Spec, notified bool) (*rma, error) {
 	if err != nil {
 		return nil, err
 	}
-	spec.applyChaos(c.Engine(), c.World().Inst.Net)
+	spec.applyChaos(c.World(), c.World().Inst.Net)
 	t := &rma{base: base{spec: spec}, c: c, notified: notified}
 	// The trace tap goes on whichever window carries payload puts;
 	// protocol-overhead signal puts (sigWin) are charged, not traced.
@@ -104,7 +104,7 @@ func (t *rma) Kind() Kind {
 }
 
 func (t *rma) Caps() Caps          { return Caps{Atomics: true, Fused: t.notified} }
-func (t *rma) Engine() *sim.Engine { return t.c.Engine() }
+func (t *rma) Digest() uint64 { return t.c.Digest() }
 func (t *rma) Elapsed() sim.Time   { return t.c.Elapsed() }
 
 func (t *rma) SharedBytes(rank int) []byte {

@@ -40,7 +40,7 @@ func newShmem(spec Spec) (*shmemT, error) {
 	if err != nil {
 		return nil, err
 	}
-	spec.applyChaos(j.Engine(), j.World().Inst.Net)
+	spec.applyChaos(j.World(), j.World().Inst.Net)
 	t := &shmemT{base: base{spec: spec}, j: j, sigBase: sigBase}
 	if hook := t.attachTrace(); hook != nil {
 		j.SetPutHook(hook)
@@ -50,7 +50,7 @@ func newShmem(spec Spec) (*shmemT, error) {
 
 func (t *shmemT) Kind() Kind          { return Shmem }
 func (t *shmemT) Caps() Caps          { return Caps{Atomics: true, Fused: true} }
-func (t *shmemT) Engine() *sim.Engine { return t.j.Engine() }
+func (t *shmemT) Digest() uint64 { return t.j.Digest() }
 func (t *shmemT) Elapsed() sim.Time   { return t.j.Elapsed() }
 
 func (t *shmemT) SharedBytes(pe int) []byte { return t.j.PE(pe).Heap() }

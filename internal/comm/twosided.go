@@ -18,7 +18,7 @@ func newTwoSided(spec Spec) (*twoSided, error) {
 	if err != nil {
 		return nil, err
 	}
-	spec.applyChaos(c.Engine(), c.World().Inst.Net)
+	spec.applyChaos(c.World(), c.World().Inst.Net)
 	t := &twoSided{base: base{spec: spec}, c: c}
 	if hook := t.attachTrace(); hook != nil {
 		c.SetSendHook(hook)
@@ -28,7 +28,7 @@ func newTwoSided(spec Spec) (*twoSided, error) {
 
 func (t *twoSided) Kind() Kind             { return TwoSided }
 func (t *twoSided) Caps() Caps             { return Caps{} }
-func (t *twoSided) Engine() *sim.Engine    { return t.c.Engine() }
+func (t *twoSided) Digest() uint64         { return t.c.Digest() }
 func (t *twoSided) Elapsed() sim.Time      { return t.c.Elapsed() }
 func (t *twoSided) SharedBytes(int) []byte { return nil }
 func (t *twoSided) AtomicCount() int64     { return 0 }

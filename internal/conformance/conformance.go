@@ -96,6 +96,11 @@ type Violation struct {
 	// Script is the (shrunk) perturbation decision schedule; replay
 	// it with Replay.
 	Script []sim.PerturbDecision
+	// StreamLens is the per-node-group decision-stream layout of
+	// Script (sim.Perturbation.StreamLens): a coupled world records
+	// one stream per group, flattened in group order. Shrinking trims
+	// the flat script only; the lens stay fixed and clamp.
+	StreamLens []int
 	// TraceLen is the recorded decision count before shrinking.
 	TraceLen int
 }
@@ -179,12 +184,13 @@ func (o Options) buildViolation(kc kcase, ref outcome, seed uint64, detail strin
 	runCase(kc, chaos{perturb: rec, faults: o.faults(seed), unordered: o.Unordered})
 	script := append([]sim.PerturbDecision(nil), rec.Trace()...)
 	v.TraceLen = len(script)
+	v.StreamLens = rec.TraceLens()
 	if o.NoShrink {
 		v.Script = script
 		return v
 	}
 	v.Script = shrinkScript(script, o.ShrinkBudget, func(s []sim.PerturbDecision) bool {
-		return check(kc, ref, o.scriptChaos(seed, s)) != ""
+		return check(kc, ref, o.scriptChaos(seed, s, v.StreamLens)) != ""
 	})
 	return v
 }
@@ -201,7 +207,7 @@ func Replay(o Options, v Violation) string {
 		if err != nil {
 			return fmt.Sprintf("reference run failed: %v", err)
 		}
-		return check(kc, ref, o.scriptChaos(v.Seed, v.Script))
+		return check(kc, ref, o.scriptChaos(v.Seed, v.Script, v.StreamLens))
 	}
 	return fmt.Sprintf("unknown case %s/%s", v.Kernel, v.Transport)
 }
@@ -220,13 +226,14 @@ func (o Options) seedChaos(seed uint64) chaos {
 // scriptChaos replays a recorded (possibly shrunk) decision script
 // under the same fault stream as the original seed. A nil script is
 // promoted to an empty one so the engine replays all-neutral rather
-// than drawing from the seed.
-func (o Options) scriptChaos(seed uint64, script []sim.PerturbDecision) chaos {
+// than drawing from the seed; lens restores the per-group stream
+// layout the script was recorded with.
+func (o Options) scriptChaos(seed uint64, script []sim.PerturbDecision, lens []int) chaos {
 	if script == nil {
 		script = []sim.PerturbDecision{}
 	}
 	return chaos{
-		perturb:   &sim.Perturbation{Seed: seed, Script: script},
+		perturb:   &sim.Perturbation{Seed: seed, Script: script, StreamLens: lens},
 		faults:    o.faults(seed),
 		unordered: o.Unordered,
 	}

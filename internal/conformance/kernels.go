@@ -59,8 +59,10 @@ type outcome struct {
 const relTol = 1e-9
 
 // kcase is one kernel x transport cell of the conformance matrix.
-// Each case builds exactly one engine, so a recorded perturbation
-// trace maps one-to-one onto the case's event allocations.
+// Each case builds exactly one world, so a recorded perturbation
+// trace — one decision stream per node-group engine, flattened with
+// Perturbation.StreamLens — maps one-to-one onto the case's event
+// allocations.
 type kcase struct {
 	kernel    string
 	transport string
@@ -228,12 +230,12 @@ func moDecode(b []byte) (src, tag, k int) {
 // tag) stream to complete in send order regardless of how the fabric
 // reorders arrivals; afterwards every queue must have drained.
 func msgorderRun(ch chaos) (outcome, error) {
-	c, err := mpi.NewComm(mach("perlmutter-cpu"), 3)
+	c, err := mpi.NewCommSharded(mach("perlmutter-cpu"), 3, ch.shards)
 	if err != nil {
 		return outcome{}, err
 	}
 	if ch.perturb != nil {
-		c.Engine().SetPerturbation(ch.perturb)
+		c.World().SetPerturbation(ch.perturb)
 	}
 	if ch.faults != nil {
 		c.World().Inst.Net.SetFaults(ch.faults)
@@ -312,7 +314,7 @@ func msgorderRun(ch chaos) (outcome, error) {
 	for _, key := range keys {
 		fmt.Fprintf(&fp, "%d/%d:%v;", key[0], key[1], streams[key])
 	}
-	return outcome{fp: fp.String()}, nil
+	return outcome{fp: fp.String(), digest: c.Digest()}, nil
 }
 
 func collVec(r, n int) []byte {
@@ -333,12 +335,12 @@ func collVec(r, n int) []byte {
 // traffic under fuzzing.
 func collectivesRun(p int) func(chaos) (outcome, error) {
 	return func(ch chaos) (outcome, error) {
-		c, err := mpi.NewComm(mach("perlmutter-cpu"), p)
+		c, err := mpi.NewCommSharded(mach("perlmutter-cpu"), p, ch.shards)
 		if err != nil {
 			return outcome{}, err
 		}
 		if ch.perturb != nil {
-			c.Engine().SetPerturbation(ch.perturb)
+			c.World().SetPerturbation(ch.perturb)
 		}
 		if ch.faults != nil {
 			c.World().Inst.Net.SetFaults(ch.faults)
@@ -448,7 +450,7 @@ func collectivesRun(p int) func(chaos) (outcome, error) {
 		for _, d := range digests {
 			h.Write(d)
 		}
-		return outcome{fp: fmt.Sprintf("coll=%016x", h.Sum64())}, nil
+		return outcome{fp: fmt.Sprintf("coll=%016x", h.Sum64()), digest: c.Digest()}, nil
 	}
 }
 
@@ -485,12 +487,12 @@ func putsignalRun(ch chaos) (outcome, error) {
 	quietOff := sigBase + rounds*8
 	heap := quietOff + slotBytes
 
-	j, err := shmem.NewJob(mach("summit-gpu"), pes, heap)
+	j, err := shmem.NewJobSharded(mach("summit-gpu"), pes, heap, ch.shards)
 	if err != nil {
 		return outcome{}, err
 	}
 	if ch.perturb != nil {
-		j.Engine().SetPerturbation(ch.perturb)
+		j.World().SetPerturbation(ch.perturb)
 	}
 	if ch.faults != nil {
 		j.World().Inst.Net.SetFaults(ch.faults)
@@ -547,5 +549,5 @@ func putsignalRun(ch chaos) (outcome, error) {
 	for pe := 0; pe < pes; pe++ {
 		h.Write(j.PE(pe).Heap())
 	}
-	return outcome{fp: fmt.Sprintf("heap=%016x", h.Sum64())}, nil
+	return outcome{fp: fmt.Sprintf("heap=%016x", h.Sum64()), digest: j.Digest()}, nil
 }

@@ -7,19 +7,15 @@ import (
 	"msgroofline/internal/sched"
 )
 
-// workloadCases returns the conformance cells whose kernels accept a
-// Shards knob (the three paper workloads on all four transports).
+// workloadCases returns every conformance cell: all three paper
+// workloads on all four transports plus the four protocol
+// micro-kernels. Every cell runs on the coupled engine and accepts a
+// Shards (worker-count) knob, so all of them must be shard-invariant.
 func workloadCases(t *testing.T) []kcase {
 	t.Helper()
-	var out []kcase
-	for _, kc := range allCases() {
-		switch kc.kernel {
-		case "stencil", "sptrsv", "hashtable":
-			out = append(out, kc)
-		}
-	}
-	if len(out) != 12 {
-		t.Fatalf("expected 12 workload cells, got %d", len(out))
+	out := allCases()
+	if len(out) != 16 {
+		t.Fatalf("expected 16 conformance cells, got %d", len(out))
 	}
 	return out
 }
@@ -31,13 +27,14 @@ func withShards(ch chaos, shards int) chaos {
 }
 
 // TestShardCountInvariantUnderPerturbation is the shard-determinism
-// suite of the conformance matrix: every workload cell, replayed
-// under 50 perturbation+fault seeds, must produce byte-equal semantic
+// suite of the conformance matrix: every cell, replayed under 50
+// perturbation+fault seeds, must produce byte-equal semantic
 // fingerprints, bitwise-equal float outcomes, and identical
-// event-order digests at shards=1 and shards=4. The coupled stacks
-// take the sequential-engine fallback at every shard count (see
-// comm.Spec.Shards), so any divergence means the Shards plumbing
-// leaked into simulation behavior.
+// event-order digests at shards=1 and shards=4. On the coupled
+// engine -shards sets only the worker count — the node-group
+// decomposition, window schedule, and event-key total order are
+// topology-determined — so any divergence means per-rank state
+// leaked across a group boundary outside the barrier protocol.
 func TestShardCountInvariantUnderPerturbation(t *testing.T) {
 	const seeds = 50
 	o := Options{Seeds: seeds}.withDefaults()

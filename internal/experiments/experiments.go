@@ -62,12 +62,12 @@ func (o *Output) Render() string {
 
 // Env carries the run-wide context every experiment receives: the
 // problem scale, the shared point cache (nil when caching is off),
-// and the engine shard count to record on every simulated world.
+// and the window worker parallelism for every simulated world.
 // Neither the cache nor the shard count ever changes what any
 // experiment outputs: the cache only decides which simulations run,
-// and the coupled communication stacks execute sequentially at every
-// shard count (see comm.Spec.Shards), so the rendered suite is
-// byte-identical at any Shards value.
+// and on the coupled engine -shards caps only how many node groups
+// execute a window concurrently (see comm.Spec.Shards), so the
+// rendered suite is byte-identical at any Shards value.
 type Env struct {
 	Scale  Scale
 	Cache  *pointcache.Cache
@@ -222,7 +222,7 @@ func plan(exps []Experiment, opt SuiteOptions) (PlanStats, error) {
 }
 
 // SuiteOptions configures one RunSuite invocation. The zero value
-// runs quick-scale, sequential, uncached, on the sequential engine.
+// runs quick-scale, single-job, uncached, with one window worker.
 type SuiteOptions struct {
 	// Scale selects experiment sizing (Quick or Full).
 	Scale Scale
@@ -230,9 +230,10 @@ type SuiteOptions struct {
 	// GOMAXPROCS). Output order is fixed, so the rendered suite is
 	// byte-identical at any job count.
 	Jobs int
-	// Shards is the engine shard count recorded on every simulated
-	// world (0 means 1). The coupled stacks run sequentially at every
-	// value, so the suite is byte-identical at any shard count.
+	// Shards is the window worker parallelism of every simulated
+	// world (0 means 1). The node-group decomposition and event order
+	// are topology-determined, so the suite is byte-identical at any
+	// shard count.
 	Shards int
 	// Cache, when non-nil, memoizes points and enables the dedup
 	// planner; nil degrades to a census-only PlanStats.

@@ -8,8 +8,8 @@ import (
 // TestSuiteByteIdenticalAcrossShards is the quick-suite half of the
 // shard-determinism suite: the full registry rendered at Shards=1 and
 // Shards=4 must be byte-equal (the cmd/experiments -shards guarantee
-// the CI job pins against the committed golden). The coupled stacks
-// execute on the sequential engine at every shard count, so any
+// the CI job pins against the committed golden). Shards only sets
+// the window worker parallelism of the coupled engine, so any
 // divergence means the Shards plumbing changed simulated behavior.
 func TestSuiteByteIdenticalAcrossShards(t *testing.T) {
 	if testing.Short() {

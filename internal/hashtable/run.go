@@ -61,14 +61,16 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 	}
-	var collisions int64
+	// collisions is counted per rank so concurrent node groups of the
+	// coupled engine never share a counter; summed after Launch.
+	collisions := make([]int64, cfg.Ranks)
 	insertLocal := func(rk int, elem uint64, pos int) {
 		s := &shards[rk]
 		if s.table[pos] == 0 {
 			s.table[pos] = elem
 			return
 		}
-		collisions++
+		collisions[rk]++
 		s.overflow[s.nextFree] = elem
 		s.nextFree++
 	}
@@ -105,7 +107,7 @@ func Run(cfg Config) (*Result, error) {
 				hr, slot := g.home(key)
 				old := lane.CAS(hr, offTable+8*slot, 0, key)
 				if old != 0 {
-					collisions++
+					collisions[me]++
 					idx := lane.FetchAdd(hr, offNextFree, 1)
 					prev := lane.CAS(hr, g.offOverflow()+8*int(idx), 0, key)
 					if prev != 0 {
@@ -135,8 +137,12 @@ func Run(cfg Config) (*Result, error) {
 		// 1e6 messages per sync).
 		rec.Sync()
 	}
-	res := finishResult(&cfg, t.Elapsed(), rec.Summarize(t.Elapsed()), atomics, collisions)
-	res.EventDigest = t.Engine().Digest()
+	var totalCollisions int64
+	for _, n := range collisions {
+		totalCollisions += n
+	}
+	res := finishResult(&cfg, t.Elapsed(), rec.Summarize(t.Elapsed()), atomics, totalCollisions)
+	res.EventDigest = t.Digest()
 	return res, nil
 }
 

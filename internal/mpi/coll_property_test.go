@@ -64,7 +64,7 @@ func TestCollectivesMatchSequentialReference(t *testing.T) {
 		}
 
 		c := newComm(t, "perlmutter-cpu", p)
-		c.Engine().SetPerturbation(&sim.Perturbation{
+		c.World().SetPerturbation(&sim.Perturbation{
 			Seed: seed, Reorder: true, MaxJitter: 2 * sim.Microsecond,
 		})
 		type got struct {

@@ -81,9 +81,10 @@ func NewComm(cfg *machine.Config, n int) (*Comm, error) {
 	return NewCommSharded(cfg, n, 1)
 }
 
-// NewCommSharded is NewComm with an engine shard count recorded on
-// the underlying world (see runtime.NewWorldSharded: the coupled MPI
-// stack always executes on the sequential engine, so results are
+// NewCommSharded is NewComm with a -shards worker count for the
+// underlying world (see runtime.NewWorldSharded: ranks are grouped by
+// fabric node on the coupled conservative-lookahead engine, and
+// shards sets how many node groups execute concurrently; results are
 // byte-identical at every shard count).
 func NewCommSharded(cfg *machine.Config, n, shards int) (*Comm, error) {
 	two, ok := cfg.Params(machine.TwoSided)
@@ -102,7 +103,7 @@ func NewCommSharded(cfg *machine.Config, n, shards int) (*Comm, error) {
 			comm:    c,
 			id:      r,
 			ep:      w.Endpoint(r),
-			arrived: sim.NewCond(w.Eng),
+			arrived: sim.NewCond(w.EngineOf(r)),
 			sendSeq: make([]uint64, n),
 			recvSeq: make([]uint64, n),
 			ooo:     make([][]*envelope, n),
@@ -118,8 +119,9 @@ func (c *Comm) Size() int { return len(c.ranks) }
 // engine-level inspection).
 func (c *Comm) World() *runtime.World { return c.world }
 
-// Engine returns the discrete-event engine driving this communicator.
-func (c *Comm) Engine() *sim.Engine { return c.world.Eng }
+// Digest folds the per-group event-order digests of the underlying
+// world into one summary of the run (see runtime.World.Digest).
+func (c *Comm) Digest() uint64 { return c.world.Digest() }
 
 // Launch spawns one simulated process per rank running body and
 // drives the simulation to completion. It returns the engine error
@@ -127,7 +129,7 @@ func (c *Comm) Engine() *sim.Engine { return c.world.Eng }
 func (c *Comm) Launch(body func(r *Rank)) error {
 	for _, r := range c.ranks {
 		rank := r
-		c.world.Eng.Spawn(fmt.Sprintf("rank%d", rank.id), func(p *sim.Proc) {
+		c.world.Spawn(rank.id, fmt.Sprintf("rank%d", rank.id), func(p *sim.Proc) {
 			rank.proc = p
 			body(rank)
 		})
@@ -136,7 +138,7 @@ func (c *Comm) Launch(body func(r *Rank)) error {
 }
 
 // Elapsed returns the simulated time consumed so far.
-func (c *Comm) Elapsed() sim.Time { return c.world.Eng.Now() }
+func (c *Comm) Elapsed() sim.Time { return c.world.Elapsed() }
 
 // Rank is one MPI process. All methods must be called from the rank's
 // own simulated process (inside the Launch body).

@@ -79,7 +79,7 @@ func FuzzMatchQueue(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		c.Engine().SetPerturbation(&sim.Perturbation{
+		c.World().SetPerturbation(&sim.Perturbation{
 			Seed: seed, Reorder: true, MaxJitter: 2 * sim.Microsecond,
 		})
 

@@ -38,14 +38,16 @@ func (r *Rank) Isend(dst, tag int, data []byte) *Request {
 	seq := r.sendSeq[dst]
 	r.sendSeq[dst]++
 	r.sendCount++
-	issue := r.comm.world.Eng.Now()
+	issue := r.proc.Now()
 	hook := r.comm.sendHook
+	// Delivery mutates only target-rank state, so the whole callback
+	// runs on the target's engine (the remote half of the split).
 	r.ep.Inject(r.comm.two, dst, int64(len(buf)), r.ep.AutoChannel(), func(at sim.Time) {
 		if hook != nil && tag >= 0 {
 			hook(src, dst, int64(len(buf)), issue, at)
 		}
 		target.deliver(&envelope{src: src, tag: tag, seq: seq, data: buf, at: at})
-	})
+	}, nil)
 	return &Request{owner: r, done: true, Src: src, Tag: tag}
 }
 

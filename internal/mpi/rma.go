@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"msgroofline/internal/runtime"
 	"msgroofline/internal/sim"
 )
 
@@ -17,17 +18,21 @@ type Win struct {
 	bufs [][]byte
 
 	// outstanding[origin][target] counts puts issued by origin that
-	// have not yet landed in target memory.
+	// have not yet landed in target memory. Issued and completed on
+	// the origin's engine (the local half of the delivery split).
 	outstanding [][]int
 	// originDone[origin] is signaled whenever one of origin's puts
-	// completes remotely (flush waits on it).
+	// completes remotely (flush waits on it); bound to origin's engine.
 	originDone []*sim.Cond
 	// targetDone[target] is signaled whenever any put or accumulate
-	// lands in target's memory (receivers poll on it).
+	// lands in target's memory (receivers poll on it); bound to
+	// target's engine.
 	targetDone []*sim.Cond
 
-	puts, gets, atomics int64
-	// hook, when set, observes every put at delivery time.
+	// Per-origin-rank op counters (rank-confined; OpStats sums them).
+	puts, gets, atomics []int64
+	// hook, when set, observes every put at delivery time, running on
+	// the target's engine — it must be safe under parallel windows.
 	hook MsgHook
 }
 
@@ -55,15 +60,20 @@ func (c *Comm) NewWinSizes(sizes []int) (*Win, error) {
 	if len(sizes) != c.Size() {
 		return nil, fmt.Errorf("mpi: NewWinSizes needs %d sizes, got %d", c.Size(), len(sizes))
 	}
-	w := &Win{comm: c}
+	w := &Win{
+		comm:    c,
+		puts:    make([]int64, c.Size()),
+		gets:    make([]int64, c.Size()),
+		atomics: make([]int64, c.Size()),
+	}
 	for r, s := range sizes {
 		if s < 0 {
 			return nil, fmt.Errorf("mpi: rank %d: negative window size", r)
 		}
 		w.bufs = append(w.bufs, make([]byte, s))
 		w.outstanding = append(w.outstanding, make([]int, c.Size()))
-		w.originDone = append(w.originDone, sim.NewCond(c.world.Eng))
-		w.targetDone = append(w.targetDone, sim.NewCond(c.world.Eng))
+		w.originDone = append(w.originDone, sim.NewCond(c.world.EngineOf(r)))
+		w.targetDone = append(w.targetDone, sim.NewCond(c.world.EngineOf(r)))
 	}
 	c.wins = append(c.wins, w)
 	return w, nil
@@ -73,9 +83,15 @@ func (c *Comm) NewWinSizes(sizes []int) (*Win, error) {
 // PGAS view of one's own window).
 func (w *Win) Local(rank int) []byte { return w.bufs[rank] }
 
-// OpStats reports cumulative one-sided operation counts.
+// OpStats reports cumulative one-sided operation counts (summed over
+// the per-rank counters; call between runs or after Launch returns).
 func (w *Win) OpStats() (puts, gets, atomics int64) {
-	return w.puts, w.gets, w.atomics
+	for r := range w.puts {
+		puts += w.puts[r]
+		gets += w.gets[r]
+		atomics += w.atomics[r]
+	}
+	return puts, gets, atomics
 }
 
 // Put starts a nonblocking RMA put of data into dst's window at
@@ -95,21 +111,27 @@ func (r *Rank) PutChannel(w *Win, dst, dstOff int, data []byte, ch int) {
 func (r *Rank) putOn(w *Win, dst, dstOff int, data []byte, ch int) {
 	w.checkRange(dst, dstOff, len(data))
 	r.ep.ChargeOp(r.proc, r.comm.one)
-	buf := make([]byte, len(data))
+	n := int64(len(data))
+	buf := runtime.BorrowBuf(len(data))
 	copy(buf, data)
 	origin := r.id
 	w.outstanding[origin][dst]++
-	w.puts++
+	w.puts[origin]++
 	r.sendCount++
-	issue := r.comm.world.Eng.Now()
-	r.ep.Inject(r.comm.one, dst, int64(len(buf)), ch, func(at sim.Time) {
+	issue := r.proc.Now()
+	// Split delivery: the target-memory write, hook and target signal
+	// run on dst's engine; the outstanding-count completion and origin
+	// signal run on the origin's engine at the same instant.
+	r.ep.Inject(r.comm.one, dst, n, ch, func(at sim.Time) {
 		copy(w.bufs[dst][dstOff:], buf)
-		w.outstanding[origin][dst]--
+		runtime.ReleaseBuf(buf)
 		if w.hook != nil {
-			w.hook(origin, dst, int64(len(buf)), issue, at)
+			w.hook(origin, dst, n, issue, at)
 		}
-		w.originDone[origin].Broadcast()
 		w.targetDone[dst].Broadcast()
+	}, func(at sim.Time) {
+		w.outstanding[origin][dst]--
+		w.originDone[origin].Broadcast()
 	})
 }
 
@@ -119,20 +141,34 @@ func (r *Rank) putOn(w *Win, dst, dstOff int, data []byte, ch int) {
 func (r *Rank) Get(w *Win, src, srcOff, n int) []byte {
 	w.checkRange(src, srcOff, n)
 	r.ep.ChargeOp(r.proc, r.comm.one)
-	w.gets++
-	eng := r.comm.world.Eng
-	reqArrive := eng.Now() + r.ep.WireLatency(src) + r.comm.one.SoftLatency/2
-	var out []byte
-	srcEp := r.comm.world.Endpoint(src)
 	me := r.id
-	eng.At(reqArrive, func() {
+	w.gets[me]++
+	world := r.comm.world
+	now := r.proc.Now()
+	reqArrive := now + r.ep.WireLatency(src) + r.comm.one.SoftLatency/2
+	var out []byte
+	srcEp := world.Endpoint(src)
+	// serve runs on src's engine (owner-computes): read the exposed
+	// memory there and inject the payload back toward the origin.
+	serve := func() {
 		data := make([]byte, n)
 		copy(data, w.bufs[src][srcOff:srcOff+n])
 		srcEp.Inject(r.comm.one, me, int64(n), srcEp.AutoChannel(), func(at sim.Time) {
 			out = data
 			w.originDone[me].Broadcast()
+		}, nil)
+	}
+	if world.GroupOf(me) == world.GroupOf(src) {
+		world.EngineOf(me).At(reqArrive, serve)
+	} else {
+		// Cross-group: route the request through the barrier so the
+		// event lands on src's engine without racing its window. The
+		// request flight is at least one link latency, so reqArrive is
+		// past the window bound by construction.
+		world.Coupled().Defer(me, now, func() {
+			world.Coupled().At(src, reqArrive, serve)
 		})
-	})
+	}
 	w.originDone[me].WaitFor(r.proc, func() bool { return out != nil })
 	return out
 }
@@ -198,7 +234,7 @@ func (w *Win) SetUint64At(rank, off int, v uint64) {
 // blocks for the full atomic round trip.
 func (r *Rank) CompareAndSwap(w *Win, dst, dstOff int, compare, swap uint64) uint64 {
 	w.checkRange(dst, dstOff, 8)
-	w.atomics++
+	w.atomics[r.id]++
 	return r.ep.RemoteAtomic(r.proc, r.comm.one, dst, func() uint64 {
 		old := w.Uint64At(dst, dstOff)
 		if old == compare {
@@ -212,7 +248,7 @@ func (r *Rank) CompareAndSwap(w *Win, dst, dstOff int, compare, swap uint64) uin
 // and returns the previous value (MPI_Fetch_and_op with MPI_SUM).
 func (r *Rank) FetchAndAdd(w *Win, dst, dstOff int, delta uint64) uint64 {
 	w.checkRange(dst, dstOff, 8)
-	w.atomics++
+	w.atomics[r.id]++
 	return r.ep.RemoteAtomic(r.proc, r.comm.one, dst, func() uint64 {
 		old := w.Uint64At(dst, dstOff)
 		w.SetUint64At(dst, dstOff, old+delta)
@@ -246,22 +282,25 @@ func (r *Rank) PutNotify(w *Win, dst, dstOff int, data []byte, sigOff int, sigVa
 	// Fused operation: both halves charged at the origin.
 	r.ep.ChargeOp(r.proc, tp)
 	r.ep.ChargeOp(r.proc, tp)
-	buf := make([]byte, len(data))
+	n := int64(len(data))
+	buf := runtime.BorrowBuf(len(data))
 	copy(buf, data)
 	origin := r.id
 	w.outstanding[origin][dst]++
-	w.puts++
+	w.puts[origin]++
 	r.sendCount++
-	issue := r.comm.world.Eng.Now()
-	r.ep.Inject(tp, dst, int64(len(buf))+8, r.ep.AutoChannel(), func(at sim.Time) {
+	issue := r.proc.Now()
+	r.ep.Inject(tp, dst, n+8, r.ep.AutoChannel(), func(at sim.Time) {
 		copy(w.bufs[dst][dstOff:], buf)
+		runtime.ReleaseBuf(buf)
 		w.SetUint64At(dst, sigOff, sigVal)
-		w.outstanding[origin][dst]--
 		if w.hook != nil {
-			w.hook(origin, dst, int64(len(buf))+8, issue, at)
+			w.hook(origin, dst, n+8, issue, at)
 		}
-		w.originDone[origin].Broadcast()
 		w.targetDone[dst].Broadcast()
+	}, func(at sim.Time) {
+		w.outstanding[origin][dst]--
+		w.originDone[origin].Broadcast()
 	})
 	return nil
 }
@@ -299,7 +338,7 @@ func (r *Rank) WaitNotifyAny(w *Win, sigOffs []int, mask []bool, val uint64) int
 // into dst's window at dstOff (MPI_Accumulate with MPI_SUM). Like all
 // RMA accumulates, concurrent Accumulates to the same location are
 // applied atomically with respect to each other (they execute at
-// delivery time in the single-threaded event loop).
+// delivery time on the target's own engine, owner-computes).
 func (r *Rank) Accumulate(w *Win, dst, dstOff int, data []float64) {
 	n := 8 * len(data)
 	w.checkRange(dst, dstOff, n)
@@ -308,20 +347,21 @@ func (r *Rank) Accumulate(w *Win, dst, dstOff int, data []float64) {
 	copy(vals, data)
 	origin := r.id
 	w.outstanding[origin][dst]++
-	w.puts++
+	w.puts[origin]++
 	r.sendCount++
-	issue := r.comm.world.Eng.Now()
+	issue := r.proc.Now()
 	r.ep.Inject(r.comm.one, dst, int64(n), r.ep.AutoChannel(), func(at sim.Time) {
 		for i, v := range vals {
 			off := dstOff + 8*i
 			cur := math.Float64frombits(binary.LittleEndian.Uint64(w.bufs[dst][off:]))
 			binary.LittleEndian.PutUint64(w.bufs[dst][off:], math.Float64bits(cur+v))
 		}
-		w.outstanding[origin][dst]--
 		if w.hook != nil {
 			w.hook(origin, dst, int64(n), issue, at)
 		}
-		w.originDone[origin].Broadcast()
 		w.targetDone[dst].Broadcast()
+	}, func(at sim.Time) {
+		w.outstanding[origin][dst]--
+		w.originDone[origin].Broadcast()
 	})
 }

@@ -29,12 +29,20 @@ func TestWinCreation(t *testing.T) {
 func TestPutFlushVisibility(t *testing.T) {
 	c := newComm(t, "perlmutter-cpu", 2)
 	w, _ := c.NewWin(16)
+	const doneTag = 7
 	var seen []byte
 	err := c.Launch(func(r *Rank) {
 		if r.Rank() == 0 {
 			r.Put(w, 1, 4, []byte{9, 8, 7})
 			r.Flush(w, 1)
-			// After flush, remote memory must hold the data.
+			// Flush completed the put remotely; notify the target.
+			r.Send(1, doneTag, []byte{1})
+		} else {
+			r.Recv(0, doneTag)
+			// The notification was issued strictly after the flush
+			// returned, so the put must already be visible in this
+			// rank's own window memory (window memory is owned by its
+			// rank — visibility is always observed target-side).
 			seen = append([]byte{}, w.Local(1)[4:7]...)
 		}
 	})

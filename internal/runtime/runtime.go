@@ -1,30 +1,41 @@
 // Package runtime glues the simulation layers together: it realizes a
 // machine.Instance as a set of communicating endpoints (one per MPI
-// rank or SHMEM PE) on a shared discrete-event engine, and provides
-// the primitive cost operations the mpi and shmem layers are built
-// from — charging per-op CPU overhead, injecting messages through a
-// NIC with a LogGP gap, timing the wire journey on the netsim fabric,
-// and round-trip remote atomics.
+// rank or SHMEM PE) on the coupled conservative-lookahead engine, and
+// provides the primitive cost operations the mpi and shmem layers are
+// built from — charging per-op CPU overhead, injecting messages
+// through a NIC with a LogGP gap, timing the wire journey on the
+// netsim fabric, and round-trip remote atomics.
+//
+// Per-rank state is rank-confined: a rank's endpoint (NIC channels,
+// wire plans, injection stats) and everything the stacks build on top
+// of it (window memory, CQ bookkeeping, PE heaps) live with the
+// rank's node group and are touched only from that group's engine.
+// Cross-group effects — puts, gets, atomics, signals — arrive as
+// events on the owning group's engine, and mutations of shared fabric
+// state (link-bandwidth reservations, atomic-unit arbitration, fault
+// draws) are deferred to the window barrier where they apply in the
+// (at, senderRank<<40|senderCounter) total order (sim.CoupledEngine).
 package runtime
 
 import (
 	"fmt"
+	"time"
 
 	"msgroofline/internal/machine"
 	"msgroofline/internal/netsim"
 	"msgroofline/internal/sim"
 )
 
-// World is one simulated job: an engine, a machine instance, and one
+// World is one simulated job: a coupled engine (one sequential
+// sub-engine per fabric node group), a machine instance, and one
 // endpoint per rank.
 type World struct {
-	Eng  *sim.Engine
 	Inst *machine.Instance
+	eng  *sim.CoupledEngine
 	eps  []*Endpoint
-	// shards and shardOf record the engine shard layout requested for
-	// this world (see NewWorldSharded).
-	shards  int
-	shardOf func(rank int) int
+	// shards records the -shards request for this world (worker
+	// parallelism; clamped by the engine to the node-group count).
+	shards int
 }
 
 // NewWorld builds a world with `ranks` endpoints on the given machine.
@@ -32,19 +43,22 @@ func NewWorld(cfg *machine.Config, ranks int) (*World, error) {
 	return NewWorldSharded(cfg, ranks, 1)
 }
 
-// NewWorldSharded builds a world with `ranks` endpoints and records a
-// rank→shard placement over `shards` engine shards (clamped to the
-// rank count; <= 0 means 1). Placement follows sim.BlockPlacement so
-// it agrees with the sharded engine's default.
+// NewWorldSharded builds a world with `ranks` endpoints on the
+// sharded (coupled conservative-lookahead) engine. Ranks are grouped
+// by fabric node — the unit at which delivery is stateless shared
+// memory — and each group owns a private sequential sub-engine;
+// `shards` sets only how many groups may execute a conservative
+// window concurrently (clamped to [1, groups]; <= 0 means 1).
 //
-// The coupled mpi/shmem stacks built on a World share mutable state
-// across ranks — window memory, link reservations, atomic
-// serialization — so their simulation always executes on the single
-// sequential engine regardless of the shard count: output is
-// byte-identical at every -shards value by construction (the
-// deterministic fallback, DESIGN.md §11). The recorded placement and
-// the fabric's Lookahead feed the sim.ShardedEngine path for
-// workloads whose state is rank-confined.
+// Because the group structure, the window bounds, and the
+// (at, senderRank<<40|senderCounter) barrier order are all
+// topology-determined, simulated output is byte-identical at every
+// -shards value by construction — certified by the per-group
+// event-order digests (Digest) — while -shards > 1 buys wall-clock
+// parallelism on multi-node machines. There is no sequential fallback
+// path: every world, including a single-node one (where the lone
+// group degenerates to exact sequential execution), runs on the same
+// engine.
 func NewWorldSharded(cfg *machine.Config, ranks, shards int) (*World, error) {
 	inst, err := cfg.Instantiate(ranks)
 	if err != nil {
@@ -56,12 +70,20 @@ func NewWorldSharded(cfg *machine.Config, ranks, shards int) (*World, error) {
 	if shards > ranks {
 		shards = ranks
 	}
-	w := &World{
-		Eng:     sim.NewEngine(),
-		Inst:    inst,
-		shards:  shards,
-		shardOf: sim.BlockPlacement(ranks, shards),
+	groupOf, err := nodeGroups(inst, ranks)
+	if err != nil {
+		return nil, err
 	}
+	eng, err := sim.NewCoupled(groupOf, inst.Net.LookaheadBound(), shards)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: %w", err)
+	}
+	w := &World{
+		Inst:   inst,
+		eng:    eng,
+		shards: shards,
+	}
+	prewarmPaths(inst, ranks)
 	channels := 1
 	if cfg.GPU != nil {
 		channels = cfg.GPU.Channels
@@ -76,21 +98,78 @@ func NewWorldSharded(cfg *machine.Config, ranks, shards int) (*World, error) {
 	return w, nil
 }
 
+// nodeGroups assigns each rank the dense index of its fabric node, in
+// order of first appearance over the rank sequence. Same group ⟺ same
+// node ⟺ shared-memory delivery, so every cross-group flight pays at
+// least one fabric link and the network's LookaheadBound is a valid
+// conservative window for the grouping.
+func nodeGroups(inst *machine.Instance, ranks int) ([]int, error) {
+	groupOf := make([]int, ranks)
+	idx := make(map[string]int)
+	for r := 0; r < ranks; r++ {
+		node := inst.Places[r].Node
+		g, ok := idx[node]
+		if !ok {
+			g = len(idx)
+			idx[node] = g
+		}
+		groupOf[r] = g
+	}
+	return groupOf, nil
+}
+
+// prewarmPaths resolves every fabric route the world can use — direct
+// node-to-node plus host-staged legs — so netsim's lazy route cache is
+// fully populated before any window runs and stays read-only (and
+// data-race-free) under parallel windows. Unreachable pairs are left
+// for use-time panics, exactly as before.
+func prewarmPaths(inst *machine.Instance, ranks int) {
+	type sig struct{ node, host string }
+	seen := map[sig]bool{}
+	var sigs []sig
+	for r := 0; r < ranks; r++ {
+		s := sig{inst.Places[r].Node, inst.Places[r].Host}
+		if !seen[s] {
+			seen[s] = true
+			sigs = append(sigs, s)
+		}
+	}
+	warm := func(a, b string) {
+		if a != b {
+			inst.Net.PathTo(a, b) //nolint:errcheck // warming only
+		}
+	}
+	for _, a := range sigs {
+		for _, b := range sigs {
+			if a.node == b.node {
+				continue
+			}
+			warm(a.node, b.node)
+			if a.host != "" && b.host != "" {
+				warm(a.node, a.host)
+				warm(a.host, b.host)
+				warm(b.host, b.node)
+			}
+		}
+	}
+}
+
 // Size returns the number of endpoints (ranks/PEs).
 func (w *World) Size() int { return len(w.eps) }
 
-// Shards returns the engine shard count recorded for this world.
+// Shards returns the -shards worker-parallelism recorded for this
+// world (the engine clamps the effective worker count to Groups).
 func (w *World) Shards() int { return w.shards }
 
-// ShardOf returns the shard rank is placed on (block placement over
-// the recorded shard count).
-func (w *World) ShardOf(rank int) int { return w.shardOf(rank) }
+// Groups returns the node-group (sub-engine) count.
+func (w *World) Groups() int { return w.eng.Groups() }
+
+// GroupOf returns the node group owning a rank.
+func (w *World) GroupOf(rank int) int { return w.eng.GroupOf(rank) }
 
 // Lookahead returns the fabric's conservative lookahead bound: the
-// minimum link propagation latency of the instantiated network. It is
-// 0 when every rank shares one fabric node (no links), in which case
-// no conservative horizon exists and sharded execution must stay
-// disabled.
+// minimum link propagation latency of the instantiated network (0 on
+// a single-node world, where no window protocol is needed).
 func (w *World) Lookahead() sim.Time { return w.Inst.Net.LookaheadBound() }
 
 // Endpoint returns the endpoint for a rank.
@@ -98,8 +177,50 @@ func (w *World) Endpoint(rank int) *Endpoint {
 	return w.eps[rank]
 }
 
+// EngineOf returns the sequential sub-engine owning a rank. Every
+// process and condition variable belonging to the rank must bind to
+// it; that confinement is what lets groups execute in parallel.
+func (w *World) EngineOf(rank int) *sim.Engine { return w.eng.EngineOf(rank) }
+
+// Spawn starts a process owned by rank on the rank's engine.
+func (w *World) Spawn(rank int, name string, fn func(*sim.Proc)) {
+	w.eng.EngineOf(rank).Spawn(name, fn)
+}
+
+// SetPerturbation installs schedule fuzzing on every group engine
+// (stream g for group g; see sim.Perturbation). Call before spawning.
+func (w *World) SetPerturbation(p *sim.Perturbation) { w.eng.SetPerturbation(p) }
+
+// SetEventLimit caps total dispatched events across all groups.
+func (w *World) SetEventLimit(n uint64) { w.eng.SetEventLimit(n) }
+
 // Run drives the simulation to completion and surfaces deadlocks.
-func (w *World) Run() error { return w.Eng.Run() }
+func (w *World) Run() error {
+	err := w.eng.Run()
+	noteUsage(w)
+	return err
+}
+
+// Elapsed returns the latest executed-event time across all groups.
+func (w *World) Elapsed() sim.Time { return w.eng.Elapsed() }
+
+// Digest folds the per-group event-order digests into one summary of
+// the run; equal digests across -shards values certify the worker
+// split changed no event order.
+func (w *World) Digest() uint64 { return w.eng.Digest() }
+
+// Windows returns how many conservative windows the run executed.
+func (w *World) Windows() uint64 { return w.eng.Windows() }
+
+// GroupStats returns per-node-group execution summaries.
+func (w *World) GroupStats() []sim.ShardStats { return w.eng.GroupStats() }
+
+// BusyWall reports summed per-group busy time over wall time.
+func (w *World) BusyWall(wall time.Duration) float64 { return w.eng.BusyWall(wall) }
+
+// Coupled exposes the underlying coupled engine (Defer/At plumbing
+// for layers that extend the runtime).
+func (w *World) Coupled() *sim.CoupledEngine { return w.eng }
 
 // Endpoint is one rank's attachment to the fabric: its placement plus
 // a NIC with one or more injection channels, each pacing injections at
@@ -112,11 +233,13 @@ type Endpoint struct {
 	injected int64      // messages injected (stats)
 	bytesOut int64
 	// atomicFree serializes remote atomics targeting this endpoint's
-	// memory (one at a time at the memory controller).
+	// memory (one at a time at the memory controller). It is mutated
+	// only from this endpoint's own engine (owner-computes).
 	atomicFree sim.Time
 	// plans caches the resolved fabric route(s) to each destination
 	// rank (lazily built; topology is static after instantiation), so
-	// the per-send path does no map probes and no allocation.
+	// the per-send path does no map probes and no allocation. Owned by
+	// the rank's group: built from its engine or at a window barrier.
 	plans []*wirePlan
 }
 
@@ -190,6 +313,9 @@ func (ep *Endpoint) stagedLegs(pl *wirePlan, dst int) []*netsim.Path {
 // Rank returns the endpoint's rank id.
 func (ep *Endpoint) Rank() int { return ep.rank }
 
+// eng returns the sequential engine owning this endpoint's rank.
+func (ep *Endpoint) eng() *sim.Engine { return ep.world.eng.EngineOf(ep.rank) }
+
 // Channels returns the number of NIC injection channels.
 func (ep *Endpoint) Channels() int { return len(ep.chanFree) }
 
@@ -218,17 +344,29 @@ func (ep *Endpoint) Compute(p *sim.Proc, d sim.Time) {
 }
 
 // Inject sends bytes toward dst on the given channel and schedules
-// onDeliver at the arrival time of the last byte. The calling process
-// is NOT blocked (nonblocking semantics); callers charge op overhead
-// separately via ChargeOp. The injection is paced by the transport
-// gap on the chosen channel, then the message takes the software
-// pipeline latency plus the fabric (or shared-memory) journey.
-func (ep *Endpoint) Inject(tp machine.TransportParams, dst int, bytes int64, ch int, onDeliver func(at sim.Time)) {
+// the delivery callbacks at the arrival time of the last byte. The
+// calling process is NOT blocked (nonblocking semantics); callers
+// charge op overhead separately via ChargeOp. The injection is paced
+// by the transport gap on the chosen channel, then the message takes
+// the software pipeline latency plus the fabric (or shared-memory)
+// journey.
+//
+// The two callbacks split the delivery by ownership: `remote` runs on
+// dst's engine (mutate target-rank state there — window memory,
+// receive queues, signals), `local` runs on the sender's engine at
+// the same timestamp (origin-side completion — outstanding-op
+// decrements, local conds). Either may be nil. When src and dst share
+// a node group both run, remote first, as one event.
+//
+// Same-node delivery is stateless (latency + memory bandwidth) and is
+// scheduled immediately; a cross-node journey reserves fabric link
+// bandwidth, so it is deferred to the window barrier where all
+// reservations apply in the global (at, sender) order.
+func (ep *Endpoint) Inject(tp machine.TransportParams, dst int, bytes int64, ch int, remote, local func(at sim.Time)) {
 	if dst < 0 || dst >= ep.world.Size() {
 		panic(fmt.Sprintf("runtime: rank %d injecting to invalid destination %d", ep.rank, dst))
 	}
-	eng := ep.world.Eng
-	now := eng.Now()
+	now := ep.eng().Now()
 	c := ((ch % len(ep.chanFree)) + len(ep.chanFree)) % len(ep.chanFree)
 	start := now
 	if ep.chanFree[c] > start {
@@ -238,12 +376,43 @@ func (ep *Endpoint) Inject(tp machine.TransportParams, dst int, bytes int64, ch 
 	ep.injected++
 	ep.bytesOut += bytes
 
-	deliver := ep.wireTime(tp, start, dst, bytes, c)
-	eng.At(deliver, func() { onDeliver(deliver) })
+	w := ep.world
+	if w.eng.GroupOf(ep.rank) == w.eng.GroupOf(dst) {
+		deliver := ep.wireTime(tp, start, dst, bytes, c)
+		ep.eng().At(deliver, func() {
+			if remote != nil {
+				remote(deliver)
+			}
+			if local != nil {
+				local(deliver)
+			}
+		})
+		return
+	}
+	// Cross-group: the wire journey mutates shared link state, so it
+	// is computed at the barrier, in deferred-op total order. The
+	// delivery lands at least SoftLatency (>> lookahead) past `start`,
+	// so scheduling it onto the target group from the barrier can
+	// never violate the window bound.
+	me, src := ep.rank, ep
+	w.eng.Defer(me, start, func() {
+		deliver := src.wireTime(tp, start, dst, bytes, c)
+		w.eng.At(dst, deliver, func() {
+			if remote != nil {
+				remote(deliver)
+			}
+		})
+		if local != nil {
+			w.eng.At(me, deliver, func() { local(deliver) })
+		}
+	})
 }
 
 // wireTime computes the arrival time of the last byte at dst for a
-// message leaving the NIC at start, using the cached wire plan.
+// message leaving the NIC at start, using the cached wire plan. The
+// same-node path is stateless; cross-node paths reserve link
+// bandwidth and must only run from the rank's own engine (same-group
+// deliveries) or from a window barrier.
 func (ep *Endpoint) wireTime(tp machine.TransportParams, start sim.Time, dst int, bytes int64, ch int) sim.Time {
 	inst := ep.world.Inst
 	pl := ep.planTo(dst)
@@ -289,49 +458,74 @@ func (ep *Endpoint) WireLatency(dst int) sim.Time {
 // RemoteAtomic performs a blocking remote atomic against dst: the
 // calling process pays one op overhead, a request flight, the remote
 // AtomicTime service, and the response flight. apply runs at the
-// remote service instant (mutating target memory) and its return
-// value is handed back to the caller.
+// remote service instant on the target's engine (mutating target
+// memory) and its return value is handed back to the caller.
 //
 // Atomic request/response packets are tiny and bypass the data-path
 // gap pacing; hardware atomics ride a dedicated queue. Contention for
-// the remote location itself is serialized by atomicFree on the
-// target endpoint.
+// the remote location itself is serialized by atomicFree, mutated
+// only on the target's engine (owner-computes), so arbitration order
+// is the target group's event order — invariant under the worker
+// count. Cross-group flights reserve fabric links at the window
+// barrier; the response is scheduled strictly after apply runs, so
+// the caller can never observe a result before the remote mutation,
+// under any perturbation.
 func (ep *Endpoint) RemoteAtomic(p *sim.Proc, tp machine.TransportParams, dst int, apply func() uint64) uint64 {
 	ep.ChargeOp(p, tp)
-	target := ep.world.eps[dst]
-	eng := ep.world.Eng
-
-	arrive := ep.atomicFlight(tp, ep.rank, dst, eng.Now())
-	// Serialize atomics at the target memory controller.
-	svcStart := arrive
-	if target.atomicFree > svcStart {
-		svcStart = target.atomicFree
-	}
-	svcEnd := svcStart + tp.AtomicTime
-	target.atomicFree = svcEnd
-	respond := ep.atomicFlight(tp, dst, ep.rank, svcEnd)
+	w := ep.world
+	target := w.eps[dst]
+	myEng := ep.eng()
+	me := ep.rank
 
 	var result uint64
-	done := sim.NewCond(eng)
 	fired := false
-	if eng.Perturbed() {
-		// Under schedule perturbation the service and response events
-		// carry independent jitter, so the response is scheduled from
-		// inside the service event: the caller must never observe the
-		// response before apply has mutated target memory. (The flight
-		// itself was timed above, so link reservations are unchanged.)
-		eng.At(svcEnd, func() {
+	done := sim.NewCond(myEng)
+
+	service := func(arrive sim.Time, respondFrom func(svcEnd sim.Time)) {
+		// Runs on the target's engine: arbitrate the memory unit,
+		// apply at the service instant, then launch the response.
+		svcStart := arrive
+		if target.atomicFree > svcStart {
+			svcStart = target.atomicFree
+		}
+		svcEnd := svcStart + tp.AtomicTime
+		target.atomicFree = svcEnd
+		w.eng.At(dst, svcEnd, func() {
 			result = apply()
-			eng.At(respond, func() {
+			respondFrom(svcEnd)
+		})
+	}
+
+	if w.eng.GroupOf(me) == w.eng.GroupOf(dst) {
+		// Same node group: flights are intra-group (shared memory or
+		// same-node fabric), link-stateless or group-owned; run the
+		// whole transaction inline on the shared engine.
+		arrive := ep.atomicFlight(tp, me, dst, myEng.Now())
+		service(arrive, func(svcEnd sim.Time) {
+			respond := ep.atomicFlight(tp, dst, me, svcEnd)
+			myEng.At(respond, func() {
 				fired = true
 				done.Broadcast()
 			})
 		})
 	} else {
-		eng.At(svcEnd, func() { result = apply() })
-		eng.At(respond, func() {
-			fired = true
-			done.Broadcast()
+		req := myEng.Now()
+		w.eng.Defer(me, req, func() {
+			// Barrier: the request flight reserves links in total order.
+			arrive := ep.atomicFlight(tp, me, dst, req)
+			w.eng.At(dst, arrive, func() {
+				service(arrive, func(svcEnd sim.Time) {
+					// Response flight also reserves links: defer it
+					// from the service event to the next barrier.
+					w.eng.Defer(dst, svcEnd, func() {
+						respond := ep.atomicFlight(tp, dst, me, svcEnd)
+						w.eng.At(me, respond, func() {
+							fired = true
+							done.Broadcast()
+						})
+					})
+				})
+			})
 		})
 	}
 	done.WaitFor(p, func() bool { return fired })

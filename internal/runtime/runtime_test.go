@@ -48,9 +48,9 @@ func TestInjectDeliveryTiming(t *testing.T) {
 	w := newWorld(t, "perlmutter-cpu", 128)
 	tp, _ := w.Inst.Cfg.Params(machine.TwoSided)
 	var delivered sim.Time
-	w.Eng.Spawn("sender", func(p *sim.Proc) {
+	w.Spawn(0, "sender", func(p *sim.Proc) {
 		// Cross-socket: rank 0 (socket 0) to rank 127 (socket 1).
-		w.Endpoint(0).Inject(tp, 127, 8, 0, func(at sim.Time) { delivered = at })
+		w.Endpoint(0).Inject(tp, 127, 8, 0, func(at sim.Time) { delivered = at }, nil)
 	})
 	if err := w.Run(); err != nil {
 		t.Fatal(err)
@@ -67,11 +67,11 @@ func TestInjectGapPacing(t *testing.T) {
 	w := newWorld(t, "perlmutter-cpu", 128)
 	tp, _ := w.Inst.Cfg.Params(machine.TwoSided)
 	var deliveries []sim.Time
-	w.Eng.Spawn("sender", func(p *sim.Proc) {
+	w.Spawn(0, "sender", func(p *sim.Proc) {
 		for i := 0; i < 3; i++ {
 			w.Endpoint(0).Inject(tp, 127, 8, 0, func(at sim.Time) {
 				deliveries = append(deliveries, at)
-			})
+			}, nil)
 		}
 	})
 	if err := w.Run(); err != nil {
@@ -95,8 +95,8 @@ func TestSameNodeUsesMemoryPath(t *testing.T) {
 	w := newWorld(t, "perlmutter-cpu", 4) // ranks 0,1 socket 0
 	tp, _ := w.Inst.Cfg.Params(machine.TwoSided)
 	var delivered sim.Time
-	w.Eng.Spawn("sender", func(p *sim.Proc) {
-		w.Endpoint(0).Inject(tp, 1, 1000, 0, func(at sim.Time) { delivered = at })
+	w.Spawn(0, "sender", func(p *sim.Proc) {
+		w.Endpoint(0).Inject(tp, 1, 1000, 0, func(at sim.Time) { delivered = at }, nil)
 	})
 	if err := w.Run(); err != nil {
 		t.Fatal(err)
@@ -141,7 +141,7 @@ func transferDuration(t *testing.T, split bool, bytes int64) sim.Time {
 	w := newWorld(t, "perlmutter-gpu", 2)
 	tp, _ := w.Inst.Cfg.Params(machine.GPUShmem)
 	var last sim.Time
-	w.Eng.Spawn("sender", func(p *sim.Proc) {
+	w.Spawn(0, "sender", func(p *sim.Proc) {
 		record := func(at sim.Time) {
 			if at > last {
 				last = at
@@ -149,10 +149,10 @@ func transferDuration(t *testing.T, split bool, bytes int64) sim.Time {
 		}
 		if split {
 			for c := 0; c < 4; c++ {
-				w.Endpoint(0).Inject(tp, 1, bytes/4, c, record)
+				w.Endpoint(0).Inject(tp, 1, bytes/4, c, record, nil)
 			}
 		} else {
-			w.Endpoint(0).Inject(tp, 1, bytes, 0, record)
+			w.Endpoint(0).Inject(tp, 1, bytes, 0, record, nil)
 		}
 	})
 	if err := w.Run(); err != nil {
@@ -184,7 +184,7 @@ func TestRemoteAtomicCalibration(t *testing.T) {
 		}
 		var elapsed sim.Time
 		var got uint64
-		w.Eng.Spawn("cas", func(p *sim.Proc) {
+		w.Spawn(0, "cas", func(p *sim.Proc) {
 			start := p.Now()
 			got = w.Endpoint(0).RemoteAtomic(p, tp, c.dst, func() uint64 { return 42 })
 			elapsed = p.Now() - start
@@ -212,7 +212,7 @@ func TestRemoteAtomicSerialization(t *testing.T) {
 	var ends []sim.Time
 	for r := 0; r < 2; r++ {
 		rank := r
-		w.Eng.Spawn("cas", func(p *sim.Proc) {
+		w.Spawn(rank, "cas", func(p *sim.Proc) {
 			w.Endpoint(rank).RemoteAtomic(p, tp, 2, func() uint64 {
 				counter++
 				return counter
@@ -238,13 +238,13 @@ func TestRemoteAtomicSerialization(t *testing.T) {
 func TestInjectPanicsOnBadDst(t *testing.T) {
 	w := newWorld(t, "perlmutter-cpu", 2)
 	tp, _ := w.Inst.Cfg.Params(machine.TwoSided)
-	w.Eng.Spawn("bad", func(p *sim.Proc) {
+	w.Spawn(0, "bad", func(p *sim.Proc) {
 		defer func() {
 			if recover() == nil {
 				t.Error("expected panic for invalid destination")
 			}
 		}()
-		w.Endpoint(0).Inject(tp, 7, 8, 0, func(sim.Time) {})
+		w.Endpoint(0).Inject(tp, 7, 8, 0, func(sim.Time) {}, nil)
 	})
 	if err := w.Run(); err != nil {
 		t.Fatal(err)
@@ -258,14 +258,14 @@ func TestDeterministicWorld(t *testing.T) {
 		var last sim.Time
 		for r := 0; r < 6; r++ {
 			rank := r
-			w.Eng.Spawn("p", func(p *sim.Proc) {
+			w.Spawn(rank, "p", func(p *sim.Proc) {
 				for i := 0; i < 10; i++ {
 					dst := (rank + 1 + i) % 6
 					w.Endpoint(rank).Inject(tp, dst, int64(64*(i+1)), i, func(at sim.Time) {
 						if at > last {
 							last = at
 						}
-					})
+					}, nil)
 					p.Sleep(100 * sim.Nanosecond)
 				}
 			})
@@ -283,7 +283,7 @@ func TestDeterministicWorld(t *testing.T) {
 func TestComputeAdvancesClock(t *testing.T) {
 	w := newWorld(t, "perlmutter-cpu", 2)
 	var after sim.Time
-	w.Eng.Spawn("c", func(p *sim.Proc) {
+	w.Spawn(0, "c", func(p *sim.Proc) {
 		w.Endpoint(0).Compute(p, 7*sim.Microsecond)
 		after = p.Now()
 	})
@@ -315,8 +315,8 @@ func TestHostStagedWireJourney(t *testing.T) {
 		t.Fatal("no host MPI on perlmutter-gpu")
 	}
 	var staged sim.Time
-	w.Eng.Spawn("s", func(p *sim.Proc) {
-		w.Endpoint(0).Inject(tp, 1, 1<<20, 0, func(at sim.Time) { staged = at })
+	w.Spawn(0, "s", func(p *sim.Proc) {
+		w.Endpoint(0).Inject(tp, 1, 1<<20, 0, func(at sim.Time) { staged = at }, nil)
 	})
 	if err := w.Run(); err != nil {
 		t.Fatal(err)
@@ -325,8 +325,8 @@ func TestHostStagedWireJourney(t *testing.T) {
 	w2 := newWorld(t, "perlmutter-gpu", 2)
 	sp, _ := w2.Inst.Cfg.Params(machine.GPUShmem)
 	var direct sim.Time
-	w2.Eng.Spawn("s", func(p *sim.Proc) {
-		w2.Endpoint(0).Inject(sp, 1, 1<<20, 0, func(at sim.Time) { direct = at })
+	w2.Spawn(0, "s", func(p *sim.Proc) {
+		w2.Endpoint(0).Inject(sp, 1, 1<<20, 0, func(at sim.Time) { direct = at }, nil)
 	})
 	if err := w2.Run(); err != nil {
 		t.Fatal(err)
@@ -348,8 +348,8 @@ func TestCrossSocketExtraCharged(t *testing.T) {
 	deliver := func(dst int) sim.Time {
 		ww := newWorld(t, "summit-gpu", 6)
 		var at sim.Time
-		ww.Eng.Spawn("s", func(p *sim.Proc) {
-			ww.Endpoint(0).Inject(tp, dst, 8, 0, func(a sim.Time) { at = a })
+		ww.Spawn(0, "s", func(p *sim.Proc) {
+			ww.Endpoint(0).Inject(tp, dst, 8, 0, func(a sim.Time) { at = a }, nil)
 		})
 		if err := ww.Run(); err != nil {
 			t.Fatal(err)

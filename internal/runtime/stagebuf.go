@@ -1,0 +1,43 @@
+package runtime
+
+import "sync"
+
+// Payload staging pool. One-sided puts stage the caller's bytes at
+// issue time (the origin buffer may be legally reused once the local
+// completion lands, which can precede the remote delivery event in
+// real execution order) and release the staging copy after the
+// delivery closure has written it into the target's memory. Pooling
+// those buffers removes the dominant allocation stream of the put
+// workloads; it is safe because a released buffer is never read
+// again and every borrow overwrites the full length it asked for.
+//
+// Borrow/Release are concurrency-safe: delivery closures run on the
+// target group's engine, which may be a different goroutine than the
+// origin's when window workers > 1.
+var stagePool sync.Pool
+
+// BorrowBuf returns a length-n byte slice whose contents are
+// unspecified — the caller must overwrite all n bytes. Release it
+// with ReleaseBuf once no reference escapes.
+func BorrowBuf(n int) []byte {
+	if v := stagePool.Get(); v != nil {
+		b := v.(*[]byte)
+		if cap(*b) >= n {
+			return (*b)[:n]
+		}
+		// Too small for this borrower: drop it rather than cycling
+		// undersized buffers through a growing workload.
+	}
+	return make([]byte, n)
+}
+
+// ReleaseBuf returns a buffer to the pool. The caller must not touch
+// the slice afterwards. Buffers that escape to user code (two-sided
+// receives alias the staged send buffer, for example) must never be
+// released.
+func ReleaseBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	stagePool.Put(&b)
+}

@@ -45,9 +45,10 @@ func NewJob(cfg *machine.Config, npes, heapBytes int) (*Job, error) {
 	return NewJobSharded(cfg, npes, heapBytes, 1)
 }
 
-// NewJobSharded is NewJob with an engine shard count recorded on the
-// underlying world (see runtime.NewWorldSharded: the coupled SHMEM
-// stack always executes on the sequential engine, so results are
+// NewJobSharded is NewJob with a -shards worker count for the
+// underlying world (see runtime.NewWorldSharded: PEs are grouped by
+// fabric node on the coupled conservative-lookahead engine, and
+// shards sets how many node groups execute concurrently; results are
 // byte-identical at every shard count).
 func NewJobSharded(cfg *machine.Config, npes, heapBytes, shards int) (*Job, error) {
 	tp, ok := cfg.Params(machine.GPUShmem)
@@ -63,15 +64,16 @@ func NewJobSharded(cfg *machine.Config, npes, heapBytes, shards int) (*Job, erro
 	}
 	j := &Job{world: w, tp: tp}
 	for pe := 0; pe < npes; pe++ {
+		eng := w.EngineOf(pe)
 		j.pes = append(j.pes, &PE{
 			job:      j,
 			id:       pe,
 			ep:       w.Endpoint(pe),
 			heap:     make([]byte, heapBytes),
-			landed:   sim.NewCond(w.Eng),
-			quiesced: sim.NewCond(w.Eng),
+			landed:   sim.NewCond(eng),
+			quiesced: sim.NewCond(eng),
 			barSig:   make([]uint64, 64),
-			barCond:  sim.NewCond(w.Eng),
+			barCond:  sim.NewCond(eng),
 		})
 	}
 	return j, nil
@@ -83,11 +85,12 @@ func (j *Job) NPEs() int { return len(j.pes) }
 // World exposes the underlying simulated world.
 func (j *Job) World() *runtime.World { return j.world }
 
-// Engine returns the discrete-event engine.
-func (j *Job) Engine() *sim.Engine { return j.world.Eng }
+// Digest folds the per-group event-order digests of the underlying
+// world into one summary of the run (see runtime.World.Digest).
+func (j *Job) Digest() uint64 { return j.world.Digest() }
 
 // Elapsed returns the simulated time consumed so far.
-func (j *Job) Elapsed() sim.Time { return j.world.Eng.Now() }
+func (j *Job) Elapsed() sim.Time { return j.world.Elapsed() }
 
 // PE returns PE number i (for post-run inspection of heaps).
 func (j *Job) PE(i int) *PE { return j.pes[i] }
@@ -97,7 +100,7 @@ func (j *Job) PE(i int) *PE { return j.pes[i] }
 func (j *Job) Launch(body func(c *Ctx)) error {
 	for _, pe := range j.pes {
 		p := pe
-		j.world.Eng.Spawn(fmt.Sprintf("pe%d", p.id), func(proc *sim.Proc) {
+		j.world.Spawn(p.id, fmt.Sprintf("pe%d", p.id), func(proc *sim.Proc) {
 			body(&Ctx{pe: p, proc: proc})
 		})
 	}
@@ -178,7 +181,8 @@ func (c *Ctx) ForkJoin(n int, body func(blk *Ctx, i int)) {
 	if n <= 0 {
 		return
 	}
-	eng := c.pe.job.world.Eng
+	// Block contexts belong to this PE, so they spawn on its engine.
+	eng := c.proc.Engine()
 	done := 0
 	cond := sim.NewCond(eng)
 	for i := 0; i < n; i++ {
@@ -230,26 +234,30 @@ func (c *Ctx) putNBIOn(dst, dstOff int, data []byte, sigOff int, sigVal uint64, 
 	for i := 0; i < ops; i++ {
 		pe.ep.ChargeOp(c.proc, job.tp)
 	}
-	buf := make([]byte, len(data))
+	buf := runtime.BorrowBuf(len(data))
 	copy(buf, data)
-	bytes := int64(len(buf))
+	bytes := int64(len(data))
 	if sigOff >= 0 {
 		bytes += 8 // the signal word rides the same message
 	}
 	pe.outstanding++
 	pe.puts++
-	issue := job.world.Eng.Now()
+	issue := c.proc.Now()
+	// Split delivery: heap write, signal word, hook and target wake on
+	// the target PE's engine; completion accounting on this PE's.
 	pe.ep.Inject(job.tp, dst, bytes, ch, func(at sim.Time) {
 		copy(target.heap[dstOff:], buf)
+		runtime.ReleaseBuf(buf)
 		if sigOff >= 0 {
 			target.SetUint64At(sigOff, sigVal)
 		}
-		pe.outstanding--
 		if job.putHook != nil {
 			job.putHook(pe.id, dst, bytes, issue, at)
 		}
-		pe.quiesced.Broadcast()
 		target.landed.Broadcast()
+	}, func(at sim.Time) {
+		pe.outstanding--
+		pe.quiesced.Broadcast()
 	})
 }
 
@@ -348,9 +356,10 @@ func (c *Ctx) Barrier() {
 		pe.outstanding++
 		pe.ep.Inject(job.tp, dst.id, 8, pe.ep.AutoChannel(), func(at sim.Time) {
 			dst.barSig[slot] = gen
+			dst.barCond.Broadcast()
+		}, func(at sim.Time) {
 			pe.outstanding--
 			pe.quiesced.Broadcast()
-			dst.barCond.Broadcast()
 		})
 		mySlot := (seq*8 + round) % len(pe.barSig)
 		pe.barCond.WaitFor(c.proc, func() bool { return pe.barSig[mySlot] >= uint64(seq+1) })

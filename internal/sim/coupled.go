@@ -1,0 +1,487 @@
+package sim
+
+// Coupled conservative-lookahead engine (DESIGN.md §11).
+//
+// CoupledEngine runs the process-coupled stacks (internal/runtime and
+// the mpi/shmem/comm layers above it) under the same YAWNS-style
+// conservative-window protocol as ShardedEngine, but with sequential
+// Engines as the substrate so blocking procs, condition variables and
+// arbitrary event closures keep working unchanged. Ranks are grouped
+// by fabric node (same node ⟺ stateless shared-memory delivery), each
+// group owns a private Engine, and every window executes each group's
+// events in [minNext, minNext+lookahead) — in parallel across up to
+// `workers` goroutines — before a single-threaded barrier applies the
+// window's deferred cross-group operations.
+//
+// Cross-group effects never mutate a peer group's state mid-window.
+// They are expressed one of two ways:
+//
+//   - direct scheduling (At) of an event on the target group's engine
+//     at a timestamp provably at least `lookahead` past the sender's
+//     clock (pure-latency flights: same-window scheduling is safe
+//     because the window bound guarantees the target has not executed
+//     that far);
+//   - deferred operations (Defer) for anything that must serialize
+//     through shared state — link-bandwidth reservations, fault
+//     draws, atomic-unit arbitration. Deferred ops carry the key
+//     (at, senderRank<<counterBits|senderCounter) drawn from the
+//     originating rank's monotone counter, and the barrier applies
+//     them in that total order. Because a rank's emissions depend
+//     only on its own executed prefix, the order — and therefore
+//     every simulated output — is invariant under the worker count,
+//     certified by the per-group event-order digests.
+//
+// A one-group world (every rank on one fabric node) delegates Run to
+// the lone Engine verbatim, preserving exact sequential semantics
+// including deadlock reporting.
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sort"
+	"sync"
+	"time"
+)
+
+// deferredOp is one cross-group operation awaiting the window barrier.
+type deferredOp struct {
+	at  Time
+	key uint64
+	run func()
+}
+
+// CoupledEngine couples per-node-group sequential Engines under
+// conservative windows. Construct with NewCoupled, spawn processes on
+// the group engines (EngineOf), then Run exactly once.
+type CoupledEngine struct {
+	subs      []*Engine
+	groupOf   []int32
+	nranks    []int // ranks per group
+	lookahead Time
+	workers   int
+
+	counter []uint64       // per-rank deferred-op stream counters
+	ops     [][]deferredOp // per-group deferred ops this window
+	gerr    []error        // first group-confined error (Defer/At misuse)
+	mcap    int
+	maxEv   uint64
+
+	windows uint64
+	busy    []time.Duration
+	// loopBusy is the whole-loop busy time of an inline (workers <= 1)
+	// run, measured once instead of per group per window; GroupStats
+	// and BusyWall fold it back in, attributed by executed events.
+	loopBusy time.Duration
+	batch    []deferredOp // barrier scratch, reused across windows
+	werrs    []error      // parallel-window scratch, reused across windows
+	wpanics  []any
+	wsem     chan struct{}
+	started  bool
+}
+
+// NewCoupled builds a coupled engine for ranks placed into node
+// groups by groupOf (group ids must be dense, 0-based). lookahead is
+// the minimum cross-group event delay (the fabric's minimum link
+// latency) and must be positive when more than one group exists.
+// workers caps how many groups execute concurrently inside one
+// window; 1 (or less) runs windows inline on the caller's goroutine.
+// The window and event structure is identical at every worker count.
+func NewCoupled(groupOf []int, lookahead Time, workers int) (*CoupledEngine, error) {
+	if len(groupOf) == 0 {
+		return nil, errors.New("sim: coupled engine needs >= 1 rank")
+	}
+	if len(groupOf) >= maxShardRanks {
+		return nil, fmt.Errorf("sim: coupled engine supports < %d ranks, got %d", maxShardRanks, len(groupOf))
+	}
+	groups := 0
+	for _, g := range groupOf {
+		if g < 0 {
+			return nil, fmt.Errorf("sim: negative group id %d", g)
+		}
+		if g+1 > groups {
+			groups = g + 1
+		}
+	}
+	if lookahead <= 0 && groups > 1 {
+		return nil, fmt.Errorf("sim: %d coupled groups need positive lookahead, got %v", groups, lookahead)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > groups {
+		workers = groups
+	}
+	ce := &CoupledEngine{
+		groupOf:   make([]int32, len(groupOf)),
+		nranks:    make([]int, groups),
+		lookahead: lookahead,
+		workers:   workers,
+		counter:   make([]uint64, len(groupOf)),
+		ops:       make([][]deferredOp, groups),
+		gerr:      make([]error, groups),
+		mcap:      DefaultMailboxCap,
+		busy:      make([]time.Duration, groups),
+	}
+	for r, g := range groupOf {
+		ce.groupOf[r] = int32(g)
+		ce.nranks[g]++
+	}
+	for g, n := range ce.nranks {
+		if n == 0 {
+			return nil, fmt.Errorf("sim: coupled group ids must be dense, group %d has no ranks", g)
+		}
+	}
+	for g := 0; g < groups; g++ {
+		ce.subs = append(ce.subs, NewEngine())
+	}
+	return ce, nil
+}
+
+// Groups returns the node-group (sub-engine) count.
+func (ce *CoupledEngine) Groups() int { return len(ce.subs) }
+
+// Workers returns the window worker-parallelism (clamped to Groups).
+func (ce *CoupledEngine) Workers() int { return ce.workers }
+
+// Lookahead returns the conservative window bound.
+func (ce *CoupledEngine) Lookahead() Time { return ce.lookahead }
+
+// GroupOf returns the node group owning a rank.
+func (ce *CoupledEngine) GroupOf(rank int) int { return int(ce.groupOf[rank]) }
+
+// EngineOf returns the sequential engine owning a rank's events and
+// processes. All of the rank's conds and spawns must bind to it.
+func (ce *CoupledEngine) EngineOf(rank int) *Engine { return ce.subs[ce.groupOf[rank]] }
+
+// Sub returns the engine of node group g (group order is the digest
+// fold order).
+func (ce *CoupledEngine) Sub(g int) *Engine { return ce.subs[g] }
+
+// SetMailboxCap bounds each group's deferred-op mailbox to n ops per
+// window (default DefaultMailboxCap). Exceeding the bound aborts the
+// run with an error rather than growing without limit.
+func (ce *CoupledEngine) SetMailboxCap(n int) {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: mailbox cap must be >= 1, got %d", n))
+	}
+	ce.mcap = n
+}
+
+// SetEventLimit installs a safety cap on total dispatched events
+// across all groups (checked at window barriers, and per group inside
+// a window so a zero-delay loop cannot stall a window forever). Zero
+// means no limit.
+func (ce *CoupledEngine) SetEventLimit(n uint64) {
+	ce.maxEv = n
+	for _, sub := range ce.subs {
+		sub.SetEventLimit(n)
+	}
+}
+
+// SetPerturbation installs schedule fuzzing on every group engine,
+// giving group g decision stream g. Must be called before any process
+// is spawned or event scheduled.
+func (ce *CoupledEngine) SetPerturbation(p *Perturbation) {
+	for g, sub := range ce.subs {
+		sub.setPerturbationStream(p, g)
+	}
+}
+
+// Defer enqueues a cross-group operation on behalf of rank, to be
+// applied at the current window's barrier. Ops are applied
+// single-threaded in (at, senderRank<<counterBits|senderCounter)
+// order, giving shared-state mutations (link reservations, atomic
+// arbitration, fault draws) one explicit serialization point whose
+// order is invariant under the worker count. Defer may only be called
+// from the rank's own engine context (or from the barrier itself).
+func (ce *CoupledEngine) Defer(rank int, at Time, run func()) {
+	g := ce.groupOf[rank]
+	c := ce.counter[rank]
+	if c > counterMask {
+		panic(fmt.Sprintf("sim: rank %d exhausted its %d-bit deferred-op counter", rank, counterBits))
+	}
+	ce.counter[rank] = c + 1
+	if len(ce.ops[g]) >= ce.mcap {
+		if ce.gerr[g] == nil {
+			ce.gerr[g] = fmt.Errorf("sim: coupled mailbox group %d over capacity %d (raise SetMailboxCap)",
+				g, ce.mcap)
+		}
+		return
+	}
+	ce.ops[g] = append(ce.ops[g], deferredOp{at: at, key: uint64(rank)<<counterBits | c, run: run})
+}
+
+// At schedules fn on rank's engine at absolute time t, clamping t
+// into the engine's executed present when it lies in the past (the
+// coupled analogue of Engine.At's clamp). It is the cross-group
+// scheduling primitive: call it from a barrier-deferred op, or from
+// any context when the target shares the caller's group.
+func (ce *CoupledEngine) At(rank int, t Time, fn func()) {
+	g := ce.groupOf[rank]
+	sub := ce.subs[g]
+	// Mirror Engine.At's past-time clamp: under schedule perturbation
+	// the upstream event that computed t may itself have been jittered
+	// past t, and the receiving group may have run to the window edge
+	// before the barrier delivered this op. The clamp target — the
+	// sub-engine's Now at barrier time — is fixed once its window
+	// completed, so the result is deterministic and independent of the
+	// worker count.
+	if t < sub.Now() {
+		t = sub.Now()
+	}
+	sub.At(t, fn)
+}
+
+// Elapsed returns the latest executed-event time across all groups
+// (the coupled analogue of Engine.Now after Run).
+func (ce *CoupledEngine) Elapsed() Time {
+	var max Time
+	for _, sub := range ce.subs {
+		if now := sub.Now(); now > max {
+			max = now
+		}
+	}
+	return max
+}
+
+// Executed returns the total number of dispatched events.
+func (ce *CoupledEngine) Executed() uint64 {
+	var n uint64
+	for _, sub := range ce.subs {
+		n += sub.Executed()
+	}
+	return n
+}
+
+// Windows returns how many conservative windows Run executed (1 for a
+// delegated one-group run).
+func (ce *CoupledEngine) Windows() uint64 { return ce.windows }
+
+// Digest folds every group engine's event-order digest in group order
+// into one summary of the full execution. Group structure is
+// topology-determined, so the digest is invariant under the worker
+// count — the certificate the shard-determinism suite compares.
+func (ce *CoupledEngine) Digest() uint64 {
+	h := fnvOffsetBasis
+	for _, sub := range ce.subs {
+		h = mixDigest(h, sub.Digest())
+	}
+	return h
+}
+
+// GroupStats returns per-group execution summaries in group order. An
+// inline run measures busy time once for the whole loop; it is
+// attributed to groups proportionally to their executed events.
+func (ce *CoupledEngine) GroupStats() []ShardStats {
+	out := make([]ShardStats, len(ce.subs))
+	var total int64
+	for g, sub := range ce.subs {
+		out[g] = ShardStats{Ranks: ce.nranks[g], Executed: int64(sub.Executed()), Busy: ce.busy[g]}
+		total += out[g].Executed
+	}
+	if ce.loopBusy > 0 && total > 0 {
+		for g := range out {
+			out[g].Busy += time.Duration(int64(ce.loopBusy) * out[g].Executed / total)
+		}
+	}
+	return out
+}
+
+// BusyWall summarizes parallel efficiency for a run that took `wall`
+// of wall-clock time: summed per-group busy time divided by wall (see
+// ShardedEngine.BusyWall).
+func (ce *CoupledEngine) BusyWall(wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	busy := ce.loopBusy
+	for _, d := range ce.busy {
+		busy += d
+	}
+	return float64(busy) / float64(wall)
+}
+
+// firstErr collects the first group-confined error in group order.
+func (ce *CoupledEngine) firstErr() error {
+	for _, err := range ce.gerr {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run drives the coupled simulation to completion: repeated
+// conservative windows of (possibly parallel) group execution, each
+// closed by a single-threaded barrier applying the deferred
+// cross-group ops in total order. It returns a DeadlockError if
+// processes are still parked when every queue drains, or the first
+// bound/capacity violation.
+func (ce *CoupledEngine) Run() error {
+	if ce.started {
+		return errors.New("sim: CoupledEngine.Run called twice")
+	}
+	ce.started = true
+	if len(ce.subs) == 1 {
+		// One group: the sequential engine is exact; no windows, no
+		// barriers, native deadlock reporting.
+		ce.windows = 1
+		t0 := time.Now()
+		err := ce.subs[0].Run()
+		ce.busy[0] += time.Since(t0)
+		if err == nil {
+			err = ce.firstErr()
+		}
+		return err
+	}
+	if ce.workers <= 1 {
+		// Inline windows run on this goroutine back to back: one
+		// whole-loop measurement replaces two clock reads per group
+		// per window (the per-window pairs cost more than the windows
+		// on short-event workloads).
+		t0 := time.Now()
+		defer func() { ce.loopBusy = time.Since(t0) }()
+	}
+	for {
+		minNext := timeMax
+		any := false
+		for _, sub := range ce.subs {
+			if at, ok := sub.NextAt(); ok && at < minNext {
+				minNext = at
+				any = true
+			}
+		}
+		if !any {
+			return ce.finish()
+		}
+		w1 := timeMax
+		if minNext <= timeMax-ce.lookahead {
+			w1 = minNext + ce.lookahead
+		}
+		ce.windows++
+		if err := ce.window(w1); err != nil {
+			return err
+		}
+		if err := ce.applyDeferred(); err != nil {
+			return err
+		}
+		if err := ce.firstErr(); err != nil {
+			return err
+		}
+		if ce.maxEv != 0 && ce.Executed() > ce.maxEv {
+			return fmt.Errorf("sim: coupled event limit %d exceeded at t=%v", ce.maxEv, ce.Elapsed())
+		}
+	}
+}
+
+// window executes one conservative window on every group. With one
+// worker the groups run inline (panics propagate natively); with more,
+// each group runs on its own goroutine — capped at `workers` in
+// flight — and a worker panic is re-raised on the caller's goroutine
+// so recovery semantics match the sequential engine at every worker
+// count.
+func (ce *CoupledEngine) window(w1 Time) error {
+	if ce.workers <= 1 {
+		for _, sub := range ce.subs {
+			if err := sub.RunBefore(w1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if ce.wsem == nil {
+		ce.werrs = make([]error, len(ce.subs))
+		ce.wpanics = make([]any, len(ce.subs))
+		ce.wsem = make(chan struct{}, ce.workers)
+	}
+	var wg sync.WaitGroup
+	errs, panics, sem := ce.werrs, ce.wpanics, ce.wsem
+	for g := range ce.subs {
+		errs[g], panics[g] = nil, nil
+	}
+	for g := range ce.subs {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[g] = r
+				}
+			}()
+			t0 := time.Now()
+			errs[g] = ce.subs[g].RunBefore(w1)
+			ce.busy[g] += time.Since(t0)
+		}(g)
+	}
+	wg.Wait()
+	for _, r := range panics {
+		if r != nil {
+			panic(r)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyDeferred is the window barrier: it drains every group's
+// deferred ops, applies them single-threaded in (at, key) order, and
+// repeats until no op remains (an op may defer follow-ups).
+func (ce *CoupledEngine) applyDeferred() error {
+	for {
+		batch := ce.batch[:0]
+		for g := range ce.ops {
+			batch = append(batch, ce.ops[g]...)
+			ce.ops[g] = ce.ops[g][:0]
+		}
+		ce.batch = batch // keep any growth for the next window
+		if len(batch) == 0 {
+			return nil
+		}
+		// (at, key) pairs are unique — key embeds the sender's monotone
+		// counter — so the unstable sort is still a total order.
+		slices.SortFunc(batch, func(a, b deferredOp) int {
+			switch {
+			case a.at != b.at:
+				if a.at < b.at {
+					return -1
+				}
+				return 1
+			case a.key < b.key:
+				return -1
+			case a.key > b.key:
+				return 1
+			}
+			return 0
+		})
+		for i := range batch {
+			batch[i].run()
+		}
+		if err := ce.firstErr(); err != nil {
+			return err
+		}
+	}
+}
+
+// finish handles run termination: clean completion, a first recorded
+// group error, or an aggregated deadlock report across all groups.
+func (ce *CoupledEngine) finish() error {
+	if err := ce.firstErr(); err != nil {
+		return err
+	}
+	var parked []string
+	for _, sub := range ce.subs {
+		parked = sub.parkedNames(parked)
+	}
+	if len(parked) > 0 {
+		sort.Strings(parked)
+		return &DeadlockError{Time: ce.Elapsed(), Parked: parked}
+	}
+	return nil
+}

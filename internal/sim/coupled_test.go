@@ -1,0 +1,82 @@
+package sim_test
+
+// Tests for the coupled conservative-lookahead engine: construction
+// validation, the deferred-op mailbox bound, and the one-group
+// delegation path. The heavyweight invariance property (identical
+// digests at every worker count) is exercised end-to-end by
+// internal/conformance's TestShardCountInvariant* suite.
+
+import (
+	"strings"
+	"testing"
+
+	"msgroofline/internal/sim"
+)
+
+func TestCoupledConstructionErrors(t *testing.T) {
+	if _, err := sim.NewCoupled(nil, sim.Microsecond, 1); err == nil {
+		t.Error("empty groupOf should fail")
+	}
+	if _, err := sim.NewCoupled([]int{0, 2}, sim.Microsecond, 1); err == nil {
+		t.Error("non-dense group ids should fail")
+	}
+	if _, err := sim.NewCoupled([]int{0, 1}, 0, 1); err == nil {
+		t.Error("zero lookahead with two groups should fail")
+	}
+	ce, err := sim.NewCoupled([]int{0, 1, 0, 1}, sim.Microsecond, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce.Groups() != 2 {
+		t.Fatalf("Groups = %d", ce.Groups())
+	}
+	if ce.Workers() != 2 {
+		t.Fatalf("workers should clamp to the group count, got %d", ce.Workers())
+	}
+}
+
+func TestCoupledMailboxCap(t *testing.T) {
+	ce, err := sim.NewCoupled([]int{0, 1}, sim.Microsecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce.SetMailboxCap(4)
+	ce.Sub(0).Spawn("burst", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			ce.Defer(0, p.Now(), func() {})
+		}
+	})
+	err = ce.Run()
+	if err == nil || !strings.Contains(err.Error(), "over capacity") {
+		t.Fatalf("want mailbox capacity error, got %v", err)
+	}
+}
+
+func TestCoupledOneGroupDelegates(t *testing.T) {
+	// A single node group needs no window protocol (and a linkless
+	// topology has no lookahead): Run must delegate to the sub-engine
+	// and still count one window.
+	ce, err := sim.NewCoupled([]int{0, 0, 0}, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ticks int
+	ce.Sub(0).Spawn("p", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(sim.Microsecond)
+			ticks++
+		}
+	})
+	if err := ce.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 5 {
+		t.Fatalf("ticks = %d", ticks)
+	}
+	if ce.Windows() != 1 {
+		t.Fatalf("one-group run should report 1 window, got %d", ce.Windows())
+	}
+	if ce.Elapsed() != 5*sim.Microsecond {
+		t.Fatalf("elapsed = %v", ce.Elapsed())
+	}
+}

@@ -115,8 +115,14 @@ type Engine struct {
 	// perturb, when non-nil, enables the schedule-fuzzing mode of
 	// perturb.go: every allocation draws (or replays) one decision
 	// that may jitter the firing time and randomize the ordering key.
-	perturb  *Perturbation
-	rngState uint64
+	// perturbStream is this engine's decision-stream index within the
+	// perturbation (node-group index on a coupled world, 0 otherwise);
+	// perturbScript/perturbReplay hold the pre-sliced stream script.
+	perturb       *Perturbation
+	perturbStream int
+	perturbScript []PerturbDecision
+	perturbReplay bool
+	rngState      uint64
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -454,6 +460,56 @@ func (e *Engine) Run() error {
 		return e.deadlock()
 	}
 	return nil
+}
+
+// NextAt returns the timestamp of the earliest live pending event and
+// whether one exists. It does not advance the clock.
+func (e *Engine) NextAt() (Time, bool) {
+	at, _, ok := e.peekMin()
+	return at, ok
+}
+
+// RunBefore dispatches every event with timestamp strictly less than
+// t. Unlike RunUntil it never advances the clock idly: Now() stays at
+// the last dispatched event, so Elapsed-style readings reflect real
+// activity. Parked processes are not treated as a deadlock (they may
+// be waiting on stimuli another engine will deliver at the next
+// window barrier). It is the per-window execution step of the coupled
+// engine (coupled.go).
+func (e *Engine) RunBefore(t Time) error {
+	e.horizon = t - 1
+	for {
+		// Inlined peekMin bound check: dropCanceled keeps both queue
+		// heads live, so step's own pop cannot skip past the bound.
+		e.dropCanceled()
+		var at Time
+		if e.nowLen > 0 {
+			at = e.now
+		} else if len(e.heap) > 0 {
+			at = e.heap[0].at
+		} else {
+			break
+		}
+		if at >= t {
+			break
+		}
+		e.step()
+		if e.maxEv != 0 && e.executed > e.maxEv {
+			e.horizon = math.MaxInt64
+			return fmt.Errorf("sim: event limit %d exceeded at t=%v", e.maxEv, e.now)
+		}
+	}
+	e.horizon = math.MaxInt64
+	return nil
+}
+
+// parkedNames appends the names of every cond-parked process to dst
+// (used by the coupled engine to aggregate deadlock reports).
+func (e *Engine) parkedNames(dst []string) []string {
+	for p := e.parkedHead; p != nil; p = p.parkedNext {
+		dst = append(dst, p.name)
+	}
+	return dst
 }
 
 // RunUntil dispatches events with timestamps <= t, then advances the

@@ -24,11 +24,13 @@ package sim
 // certify exactly this: byte-equal digests at -shards 1 and -shards N
 // mean the shard split did not change a single event's order.
 //
-// The sequential Engine remains the substrate for the coupled
-// mpi/shmem/comm stacks, whose ranks share mutable state (window
-// memory, link reservations) and therefore cannot be shard-confined
-// without changing simulated outputs; see internal/runtime for how
-// the -shards knob is surfaced there.
+// ShardedEngine serves handler-style workloads (PHOLD, simbench)
+// whose per-rank state is a value passed back to a RankHandler. The
+// coupled mpi/shmem/comm stacks — which need blocking processes and
+// condition variables — run on the process-capable sibling
+// CoupledEngine (coupled.go), which applies the same window protocol
+// and event-key total order over per-node-group sequential Engines;
+// see internal/runtime for how the -shards knob is surfaced there.
 
 import (
 	"errors"

@@ -86,5 +86,5 @@ func Run(cfg Config) (*Result, error) {
 	rec := t.Recorder()
 	return &Result{Elapsed: t.Elapsed(), Comm: rec.Summarize(t.Elapsed()),
 		Matrix: rec.Matrix(cfg.Ranks), X: x, Ranks: cfg.Ranks,
-		EventDigest: t.Engine().Digest()}, nil
+		EventDigest: t.Digest()}, nil
 }

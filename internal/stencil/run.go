@@ -103,7 +103,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("stencil %s: %w", cfg.Transport, err)
 	}
 	res := finish(cfg, t.Elapsed(), t.Recorder(), sums, ranks)
-	res.EventDigest = t.Engine().Digest()
+	res.EventDigest = t.Digest()
 	return res, nil
 }
 

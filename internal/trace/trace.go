@@ -26,9 +26,14 @@ type Event struct {
 func (e Event) Latency() sim.Time { return e.Deliver - e.Issue }
 
 // Recorder accumulates events and synchronization points for one run.
-// It is used from inside the (single-threaded) simulation, so it
-// needs no locking.
+// Record and Sync are called from delivery hooks, which under the
+// coupled engine's parallel windows may run on concurrent node-group
+// goroutines, so both take a mutex; every derived quantity (Summarize,
+// SizeHistogram, Matrix) is an order-invariant aggregation, so the
+// nondeterministic append order never reaches an output. Readers run
+// after the simulation joins its workers and need no locking.
 type Recorder struct {
+	mu     sync.Mutex
 	events []Event
 	syncs  int
 }
@@ -64,11 +69,19 @@ func (r *Recorder) Reset() {
 }
 
 // Record adds one message event.
-func (r *Recorder) Record(e Event) { r.events = append(r.events, e) }
+func (r *Recorder) Record(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
 
 // Sync notes one synchronization point (a Waitall, fence, or signal
 // wait completing).
-func (r *Recorder) Sync() { r.syncs++ }
+func (r *Recorder) Sync() {
+	r.mu.Lock()
+	r.syncs++
+	r.mu.Unlock()
+}
 
 // Events returns the recorded events.
 func (r *Recorder) Events() []Event { return r.events }

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	mName := flag.String("machine", "perlmutter-cpu", "machine configuration")
-	variant := flag.String("variant", "one-sided", "one-sided, two-sided, notified, or shmem (alias: gpu)")
+	variant := flag.String("variant", "one-sided", "transport: "+comm.KindList()+" (alias: gpu = shmem)")
 	ranks := flag.Int("ranks", 4, "MPI ranks / GPU PEs")
 	blocks := flag.Int("blocks", 0, "GPU thread-block concurrency (gpu variant)")
 	common := cliflags.Register(flag.CommandLine, "hashtable", "off")

@@ -42,7 +42,7 @@ import (
 
 func main() {
 	mName := flag.String("machine", "perlmutter-cpu", "machine: "+strings.Join(machine.Names(), ", "))
-	tName := flag.String("transport", "two-sided", "transport: two-sided, one-sided, one-sided-strict, gpu-shmem")
+	tName := flag.String("transport", "two-sided", "transport: "+bench.TransportList())
 	split := flag.Bool("split", false, "run the Fig-10 message-splitting experiment instead of a sweep")
 	csvPath := flag.String("csv", "", "write measured series to this CSV file")
 	common := cliflags.Register(flag.CommandLine, "msgroof", "off")
@@ -86,6 +86,10 @@ func main() {
 		tr = machine.OneSided
 	case bench.ShmemPutSignal:
 		tr = machine.GPUShmem
+	case bench.StreamTriggered:
+		tr = machine.StreamTriggered
+	case bench.MemChannel:
+		tr = machine.MemChannel
 	}
 	tp, ok := cfg.Params(tr)
 	if !ok {

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	mName := flag.String("machine", "perlmutter-cpu", "machine configuration")
-	variant := flag.String("variant", "two-sided", "two-sided, one-sided, notified, or shmem (alias: gpu)")
+	variant := flag.String("variant", "two-sided", "transport: "+comm.KindList()+" (alias: gpu = shmem)")
 	ranks := flag.Int("ranks", 4, "MPI ranks / GPU PEs")
 	full := flag.Bool("full", false, "use the full M3D-C1-like factor (default: quick-scale)")
 	seed := flag.Int64("seed", 20230901, "matrix generator seed")

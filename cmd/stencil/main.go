@@ -19,7 +19,7 @@ import (
 
 func main() {
 	mName := flag.String("machine", "perlmutter-cpu", "machine configuration")
-	variant := flag.String("variant", "two-sided", "two-sided, one-sided, notified, or shmem (alias: gpu)")
+	variant := flag.String("variant", "two-sided", "transport: "+comm.KindList()+" (alias: gpu = shmem)")
 	verify := flag.Bool("verify", false, "carry real grid data and check against the serial reference (small grids)")
 	showMatrix := flag.Bool("matrix", false, "print the halo traffic heat map")
 	common := cliflags.Register(flag.CommandLine, "stencil", "off")

@@ -16,12 +16,15 @@ package bench
 
 import (
 	"fmt"
+	"strings"
 
+	"msgroofline/internal/comm"
 	"msgroofline/internal/loggp"
 	"msgroofline/internal/machine"
 	"msgroofline/internal/mpi"
 	"msgroofline/internal/plot"
 	"msgroofline/internal/pointcache"
+	"msgroofline/internal/runtime"
 	"msgroofline/internal/sched"
 	"msgroofline/internal/shmem"
 	"msgroofline/internal/sim"
@@ -92,6 +95,12 @@ const (
 	OneSidedStrict
 	// ShmemPutSignal is GPU-initiated put-with-signal (Fig 4).
 	ShmemPutSignal
+	// StreamTriggered is stream-triggered MPI: descriptors enqueued on
+	// the device stream, fired by the GPU trigger engine.
+	StreamTriggered
+	// MemChannel is the RAMC-style ordered memory channel: FIFO byte
+	// streams with open/credit semantics, one op per message.
+	MemChannel
 )
 
 // String names the transport exactly as Result.Transport labels it in
@@ -106,19 +115,40 @@ func (t Transport) String() string {
 		return "one-sided-strict"
 	case ShmemPutSignal:
 		return machine.GPUShmem.String()
+	case StreamTriggered:
+		return machine.StreamTriggered.String()
+	case MemChannel:
+		return machine.MemChannel.String()
 	default:
 		return fmt.Sprintf("Transport(%d)", int(t))
 	}
 }
 
+// Transports enumerates every sweepable protocol in figure order — the
+// single registry CLI parsing, usage text, and error messages derive
+// their name lists from.
+func Transports() []Transport {
+	return []Transport{TwoSided, OneSided, OneSidedStrict, ShmemPutSignal, StreamTriggered, MemChannel}
+}
+
+// TransportList is the comma-separated name list of every sweepable
+// protocol, for usage text and parse errors.
+func TransportList() string {
+	names := make([]string, 0, len(Transports()))
+	for _, t := range Transports() {
+		names = append(names, t.String())
+	}
+	return strings.Join(names, ", ")
+}
+
 // ParseTransport maps the figure/CLI names back to a Transport.
 func ParseTransport(s string) (Transport, error) {
-	for _, t := range []Transport{TwoSided, OneSided, OneSidedStrict, ShmemPutSignal} {
+	for _, t := range Transports() {
 		if t.String() == s {
 			return t, nil
 		}
 	}
-	return 0, fmt.Errorf("bench: unknown transport %q (want two-sided, one-sided, one-sided-strict or gpu-shmem)", s)
+	return 0, fmt.Errorf("bench: unknown transport %q (want one of: %s)", s, TransportList())
 }
 
 // Spec describes one sweep: which protocol to measure, between how
@@ -307,6 +337,10 @@ func measure(cfg *machine.Config, t Transport, ranks, n int, b int64, shards int
 		return measureOneSided(cfg, ranks, n, b, shards, true)
 	case ShmemPutSignal:
 		return measureShmemPutSignal(cfg, ranks, n, b, shards)
+	case StreamTriggered:
+		return measureCommStream(cfg, comm.StreamTriggered, ranks, n, b, shards)
+	case MemChannel:
+		return measureCommStream(cfg, comm.MemChannel, ranks, n, b, shards)
 	default:
 		return Point{}, fmt.Errorf("bench: unknown transport %v", t)
 	}
@@ -478,6 +512,50 @@ func measureShmemPutSignal(cfg *machine.Config, npes, n int, b int64, shards int
 	return point(n, b, elapsed), nil
 }
 
+// measureCommStream measures one streamed-delivery window on a
+// transport-layer stack (stream-triggered or memory-channel): the
+// sender issues N signaled deliveries and quiets, the receiver times
+// from the pre-window barrier to its Nth consumed slot. The trace tap
+// stays off — the point is a timing, not an op census.
+func measureCommStream(cfg *machine.Config, kind comm.Kind, ranks, n int, b int64, shards int) (Point, error) {
+	src, dst := farPair(ranks)
+	slots := make([]int, ranks)
+	slots[dst] = n
+	tr, err := comm.New(comm.Spec{
+		Machine: cfg, Kind: kind, Ranks: ranks,
+		StreamSlots: slots, SlotBytes: int(b),
+		Shards: shards, NoTrace: true,
+	})
+	if err != nil {
+		return Point{}, err
+	}
+	var elapsed sim.Time
+	err = tr.Launch(func(ep comm.Endpoint) {
+		switch ep.Rank() {
+		case src:
+			ep.Barrier()
+			payload := make([]byte, b)
+			for i := 0; i < n; i++ {
+				ep.Deliver(dst, i, payload)
+			}
+			ep.Quiet()
+		case dst:
+			ep.Barrier()
+			start := ep.Now()
+			for got := 0; got < n; got++ {
+				ep.WaitAnySlot()
+			}
+			elapsed = ep.Now() - start
+		default:
+			ep.Barrier()
+		}
+	})
+	if err != nil {
+		return Point{}, fmt.Errorf("bench: %s %s n=%d B=%d: %w", kind, cfg.Name, n, b, err)
+	}
+	return point(n, b, elapsed), nil
+}
+
 // cachedTime memoizes one sim.Time-valued kernel run under the cache:
 // a hit returns the stored elapsed time, a miss runs the kernel and
 // stores the result. With a nil/disabled cache it just runs the kernel.
@@ -566,6 +644,74 @@ func oneSidedCASLatency(cfg *machine.Config, ranks, dst, reps int) (sim.Time, er
 		return 0, err
 	}
 	return total / sim.Time(reps), nil
+}
+
+// TriggerDelay measures the stream-triggered per-message delivery
+// latency: reps back-to-back 8-byte deliveries, receiver-timed and
+// averaged. With the host overhead nearly off the critical path the
+// number is dominated by L + TriggerLatency — the o/L inversion the
+// offload roofline plots.
+func TriggerDelay(cfg *machine.Config, ranks, reps int) (sim.Time, error) {
+	return TriggerDelayCached(nil, cfg, ranks, reps)
+}
+
+// TriggerDelayCached is TriggerDelay memoized through the point cache
+// (KindTrigger). A nil cache simulates directly.
+func TriggerDelayCached(c *pointcache.Cache, cfg *machine.Config, ranks, reps int) (sim.Time, error) {
+	k := pointcache.KeyOf(cfg, pointcache.KindTrigger, machine.StreamTriggered.String(), ranks, reps, 8)
+	return cachedTime(c, k, func() (sim.Time, error) { return triggerDelay(cfg, ranks, reps) })
+}
+
+func triggerDelay(cfg *machine.Config, ranks, reps int) (sim.Time, error) {
+	p, err := measureCommStream(cfg, comm.StreamTriggered, ranks, reps, 8, 0)
+	if err != nil {
+		return 0, err
+	}
+	return p.Elapsed / sim.Time(reps), nil
+}
+
+// ChannelOpen measures the memory channel's one-time open handshake:
+// the sender-timed cost of a single 8-byte send-and-drain on a cold
+// (never-opened) channel minus the same on the now-warm channel — the
+// difference is exactly the open cost, every per-message term cancels.
+func ChannelOpen(cfg *machine.Config, ranks int) (sim.Time, error) {
+	return ChannelOpenCached(nil, cfg, ranks)
+}
+
+// ChannelOpenCached is ChannelOpen memoized through the point cache
+// (KindChan). A nil cache simulates directly.
+func ChannelOpenCached(c *pointcache.Cache, cfg *machine.Config, ranks int) (sim.Time, error) {
+	k := pointcache.KeyOf(cfg, pointcache.KindChan, machine.MemChannel.String(), ranks, 0, 8)
+	return cachedTime(c, k, func() (sim.Time, error) { return channelOpen(cfg, ranks) })
+}
+
+func channelOpen(cfg *machine.Config, ranks int) (sim.Time, error) {
+	tp, ok := cfg.Params(machine.MemChannel)
+	if !ok {
+		return 0, fmt.Errorf("bench: machine %s has no memory-channel transport", cfg.Name)
+	}
+	w, err := runtime.NewWorld(cfg, ranks)
+	if err != nil {
+		return 0, err
+	}
+	src, dst := farPair(ranks)
+	ep := w.Endpoint(src)
+	ch := runtime.NewChannel(ep, dst, tp)
+	var cold, warm sim.Time
+	w.Spawn(src, "opener", func(p *sim.Proc) {
+		start := p.Now()
+		ch.Send(p, 8, ep.AutoChannel(), nil)
+		ch.Drain(p)
+		cold = p.Now() - start
+		start = p.Now()
+		ch.Send(p, 8, ep.AutoChannel(), nil)
+		ch.Drain(p)
+		warm = p.Now() - start
+	})
+	if err := w.Run(); err != nil {
+		return 0, err
+	}
+	return cold - warm, nil
 }
 
 // SplitPoint is one Fig-10 measurement: a message volume sent whole

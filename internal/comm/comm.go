@@ -1,7 +1,7 @@
 // Package comm is the unified transport layer under the paper's
 // workloads. It exposes one Transport interface — halo exchange,
 // put-with-signal delivery, remote atomics, and epoch semantics —
-// with four implementations delegating to the calibrated stacks:
+// with six implementations delegating to the calibrated stacks:
 //
 //   - TwoSided: internal/mpi Isend/Irecv/Waitall (eager protocol,
 //     non-overtaking matching);
@@ -13,7 +13,15 @@
 //     (foMPI-style notified access, §V): one fused 2-op flight per
 //     delivery, no second flush round trip, no polling loop;
 //   - Shmem: internal/shmem NVSHMEM-style PGAS (put_signal_nbi,
-//     wait_until_*, device atomics, fork/join block contexts).
+//     wait_until_*, device atomics, fork/join block contexts);
+//   - StreamTriggered: stream-triggered MPI — the host enqueues
+//     descriptors onto a simulated device stream (internal/gpu) and
+//     the trigger engine fires each at stream-dependency resolution:
+//     near-zero host o, trigger latency added to L;
+//   - MemChannel: RAMC-style ordered remote-memory channels
+//     (internal/runtime.Channel) — per-(src,dst) FIFO byte streams
+//     with open/credit semantics where ordering replaces per-op
+//     completion and quiet maps to channel drainage.
 //
 // The kernels in internal/{stencil,sptrsv,hashtable} are written once
 // against this interface; the transport is a table entry, not a
@@ -33,7 +41,9 @@ package comm
 
 import (
 	"fmt"
+	"strings"
 
+	"msgroofline/internal/gpu"
 	"msgroofline/internal/machine"
 	"msgroofline/internal/netsim"
 	"msgroofline/internal/runtime"
@@ -41,7 +51,7 @@ import (
 	"msgroofline/internal/trace"
 )
 
-// Kind selects one of the four communication stacks.
+// Kind selects one of the six communication stacks.
 type Kind int
 
 const (
@@ -53,20 +63,24 @@ const (
 	Notified
 	// Shmem is the NVSHMEM-style GPU PGAS stack.
 	Shmem
+	// StreamTriggered is CPU-free stream-triggered MPI: descriptors
+	// enqueued on the device stream, fired at dependency resolution.
+	StreamTriggered
+	// MemChannel is the RAMC-style ordered remote-memory channel.
+	MemChannel
 )
+
+// kindNames is the transport registry: canonical name per Kind, in
+// the order Kinds() reports. CLI usage strings and parse errors are
+// generated from it so a new transport can never be silently missing
+// from a hardcoded list.
+var kindNames = []string{"two-sided", "one-sided", "notified", "shmem", "stream-triggered", "memchannel"}
 
 // String returns the canonical transport name used by case tables,
 // CLI flags, and the conformance matrix.
 func (k Kind) String() string {
-	switch k {
-	case TwoSided:
-		return "two-sided"
-	case OneSided:
-		return "one-sided"
-	case Notified:
-		return "notified"
-	case Shmem:
-		return "shmem"
+	if k >= 0 && int(k) < len(kindNames) {
+		return kindNames[k]
 	}
 	return fmt.Sprintf("comm.Kind(%d)", int(k))
 }
@@ -74,21 +88,32 @@ func (k Kind) String() string {
 // ParseKind maps a transport name to its Kind. "gpu" is accepted as
 // an alias for "shmem" (the historical CLI spelling).
 func ParseKind(s string) (Kind, error) {
-	switch s {
-	case "two-sided":
-		return TwoSided, nil
-	case "one-sided":
-		return OneSided, nil
-	case "notified":
-		return Notified, nil
-	case "shmem", "gpu":
+	for i, n := range kindNames {
+		if s == n {
+			return Kind(i), nil
+		}
+	}
+	if s == "gpu" {
 		return Shmem, nil
 	}
-	return 0, fmt.Errorf("comm: unknown transport %q (want two-sided, one-sided, notified, or shmem)", s)
+	return 0, fmt.Errorf("comm: unknown transport %q (want %s)", s, KindList())
 }
 
 // Kinds lists every transport in canonical order.
-func Kinds() []Kind { return []Kind{TwoSided, OneSided, Notified, Shmem} }
+func Kinds() []Kind {
+	out := make([]Kind, len(kindNames))
+	for i := range kindNames {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// KindList renders the registry as a human-readable list for usage
+// text and errors: "a, b, ..., or z".
+func KindList() string {
+	n := len(kindNames)
+	return strings.Join(kindNames[:n-1], ", ") + ", or " + kindNames[n-1]
+}
 
 // Caps describes what a transport can do natively, so a kernel can
 // pick between the paper's protocol designs without knowing which
@@ -163,6 +188,13 @@ type Spec struct {
 	Faults *netsim.Faults
 	// NoTrace skips recorder creation and hook installation.
 	NoTrace bool
+
+	// DebugUnordered deliberately breaks the ordering contract of the
+	// transports that have one — StreamTriggered fires descriptors
+	// without waiting for stream predecessors, MemChannel bypasses the
+	// receive resequencer — so the conformance ordering oracles can
+	// prove they catch the violation. Never set outside tests.
+	DebugUnordered bool
 }
 
 // applyChaos installs the conformance harness's opt-in schedule
@@ -245,6 +277,8 @@ type Endpoint interface {
 	Rank() int
 	Size() int
 	Caps() Caps
+	// Now returns this rank's current simulated time.
+	Now() sim.Time
 	// Compute advances this rank's clock by d (local work).
 	Compute(d sim.Time)
 	// Barrier synchronizes all ranks.
@@ -313,8 +347,26 @@ func New(spec Spec) (Transport, error) {
 		return newRMA(spec, true)
 	case Shmem:
 		return newShmem(spec)
+	case StreamTriggered:
+		return newStreamTriggered(spec)
+	case MemChannel:
+		return newMemChannel(spec)
 	}
 	return nil, fmt.Errorf("comm: unknown transport kind %d", int(spec.Kind))
+}
+
+// StreamInspector is implemented by transports whose sends ride a
+// per-rank device stream; conformance oracles inspect the recorded
+// fire log after Launch.
+type StreamInspector interface {
+	Stream(rank int) *gpu.Stream
+}
+
+// ChannelInspector is implemented by transports whose sends ride
+// ordered memory channels; conformance oracles inspect the per-channel
+// arrival logs after Launch.
+type ChannelInspector interface {
+	Channels(rank int) []*runtime.Channel
 }
 
 // base carries the pieces shared by every transport implementation.

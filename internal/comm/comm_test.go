@@ -26,10 +26,11 @@ func mc(t *testing.T, name string) *machine.Config {
 }
 
 // machineFor picks a platform that supports the transport: the GPU
-// catalog entry for shmem, the notified-calibrated CPU otherwise.
+// catalog entry for the device-driven stacks (shmem, stream-
+// triggered), the notified- and channel-calibrated CPU otherwise.
 func machineFor(t *testing.T, kind comm.Kind) *machine.Config {
 	t.Helper()
-	if kind == comm.Shmem {
+	if kind == comm.Shmem || kind == comm.StreamTriggered {
 		return mc(t, "perlmutter-gpu")
 	}
 	return mc(t, "perlmutter-cpu")
@@ -56,15 +57,17 @@ func TestKindStringParseRoundTrip(t *testing.T) {
 func TestSpecValidation(t *testing.T) {
 	pm := mc(t, "perlmutter-cpu")
 	bad := []comm.Spec{
-		{Kind: comm.TwoSided, Ranks: 2, ExchangeSlots: 4, SlotBytes: 8},                                // nil machine
-		{Machine: pm, Kind: comm.TwoSided, Ranks: 0, ExchangeSlots: 4, SlotBytes: 8},                   // no ranks
-		{Machine: pm, Kind: comm.TwoSided, Ranks: 2},                                                   // no geometry
-		{Machine: pm, Kind: comm.TwoSided, Ranks: 2, ExchangeSlots: 4, SlotBytes: 8, SharedBytes: 64},  // two geometries
-		{Machine: pm, Kind: comm.TwoSided, Ranks: 2, ExchangeSlots: 4},                                 // no slot stride
-		{Machine: pm, Kind: comm.TwoSided, Ranks: 2, StreamSlots: []int{1}, SlotBytes: 8},              // wrong StreamSlots len
-		{Machine: pm, Kind: comm.Kind(99), Ranks: 2, ExchangeSlots: 4, SlotBytes: 8},                   // unknown kind
-		{Machine: mc(t, "summit-cpu"), Kind: comm.Notified, Ranks: 2, ExchangeSlots: 4, SlotBytes: 8},  // no notified params
-		{Machine: mc(t, "perlmutter-cpu"), Kind: comm.Shmem, Ranks: 2, ExchangeSlots: 4, SlotBytes: 8}, // shmem needs a GPU machine
+		{Kind: comm.TwoSided, Ranks: 2, ExchangeSlots: 4, SlotBytes: 8},                                 // nil machine
+		{Machine: pm, Kind: comm.TwoSided, Ranks: 0, ExchangeSlots: 4, SlotBytes: 8},                    // no ranks
+		{Machine: pm, Kind: comm.TwoSided, Ranks: 2},                                                    // no geometry
+		{Machine: pm, Kind: comm.TwoSided, Ranks: 2, ExchangeSlots: 4, SlotBytes: 8, SharedBytes: 64},   // two geometries
+		{Machine: pm, Kind: comm.TwoSided, Ranks: 2, ExchangeSlots: 4},                                  // no slot stride
+		{Machine: pm, Kind: comm.TwoSided, Ranks: 2, StreamSlots: []int{1}, SlotBytes: 8},               // wrong StreamSlots len
+		{Machine: pm, Kind: comm.Kind(99), Ranks: 2, ExchangeSlots: 4, SlotBytes: 8},                    // unknown kind
+		{Machine: mc(t, "summit-cpu"), Kind: comm.Notified, Ranks: 2, ExchangeSlots: 4, SlotBytes: 8},   // no notified params
+		{Machine: mc(t, "perlmutter-cpu"), Kind: comm.Shmem, Ranks: 2, ExchangeSlots: 4, SlotBytes: 8},  // shmem needs a GPU machine
+		{Machine: pm, Kind: comm.StreamTriggered, Ranks: 2, ExchangeSlots: 4, SlotBytes: 8},             // stream-triggered needs a GPU machine
+		{Machine: mc(t, "summit-cpu"), Kind: comm.MemChannel, Ranks: 2, ExchangeSlots: 4, SlotBytes: 8}, // no channel params on InfiniBand
 	}
 	for i, spec := range bad {
 		if _, err := comm.New(spec); err == nil {

@@ -103,9 +103,9 @@ func (t *rma) Kind() Kind {
 	return OneSided
 }
 
-func (t *rma) Caps() Caps          { return Caps{Atomics: true, Fused: t.notified} }
-func (t *rma) Digest() uint64 { return t.c.Digest() }
-func (t *rma) Elapsed() sim.Time   { return t.c.Elapsed() }
+func (t *rma) Caps() Caps        { return Caps{Atomics: true, Fused: t.notified} }
+func (t *rma) Digest() uint64    { return t.c.Digest() }
+func (t *rma) Elapsed() sim.Time { return t.c.Elapsed() }
 
 func (t *rma) SharedBytes(rank int) []byte {
 	if t.heapWin == nil {
@@ -154,6 +154,7 @@ type rmaEp struct {
 func (e *rmaEp) Rank() int          { return e.r.Rank() }
 func (e *rmaEp) Size() int          { return e.t.spec.Ranks }
 func (e *rmaEp) Caps() Caps         { return e.t.Caps() }
+func (e *rmaEp) Now() sim.Time      { return e.r.Now() }
 func (e *rmaEp) Compute(d sim.Time) { e.r.Compute(d) }
 func (e *rmaEp) Barrier()           { e.r.Barrier() }
 

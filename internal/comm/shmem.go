@@ -48,10 +48,10 @@ func newShmem(spec Spec) (*shmemT, error) {
 	return t, nil
 }
 
-func (t *shmemT) Kind() Kind          { return Shmem }
-func (t *shmemT) Caps() Caps          { return Caps{Atomics: true, Fused: true} }
-func (t *shmemT) Digest() uint64 { return t.j.Digest() }
-func (t *shmemT) Elapsed() sim.Time   { return t.j.Elapsed() }
+func (t *shmemT) Kind() Kind        { return Shmem }
+func (t *shmemT) Caps() Caps        { return Caps{Atomics: true, Fused: true} }
+func (t *shmemT) Digest() uint64    { return t.j.Digest() }
+func (t *shmemT) Elapsed() sim.Time { return t.j.Elapsed() }
 
 func (t *shmemT) SharedBytes(pe int) []byte { return t.j.PE(pe).Heap() }
 
@@ -93,6 +93,7 @@ type shEp struct {
 func (e *shEp) Rank() int          { return e.c.MyPE() }
 func (e *shEp) Size() int          { return e.t.spec.Ranks }
 func (e *shEp) Caps() Caps         { return e.t.Caps() }
+func (e *shEp) Now() sim.Time      { return e.c.Now() }
 func (e *shEp) Compute(d sim.Time) { e.c.Compute(d) }
 func (e *shEp) Barrier()           { e.c.Barrier() }
 func (e *shEp) Quiet()             { e.c.Quiet() }

@@ -45,6 +45,7 @@ type tsEp struct {
 func (e *tsEp) Rank() int          { return e.r.Rank() }
 func (e *tsEp) Size() int          { return e.t.spec.Ranks }
 func (e *tsEp) Caps() Caps         { return Caps{} }
+func (e *tsEp) Now() sim.Time      { return e.r.Now() }
 func (e *tsEp) Compute(d sim.Time) { e.r.Compute(d) }
 func (e *tsEp) Barrier()           { e.r.Barrier() }
 

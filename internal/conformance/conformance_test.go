@@ -24,7 +24,7 @@ func TestSweep(t *testing.T) {
 	if !rep.Ok() {
 		t.Fatalf("conformance violations:\n%s", rep.String())
 	}
-	if want := 16 * *seedCount; rep.Runs != want {
+	if want := 24 * *seedCount; rep.Runs != want {
 		t.Fatalf("ran %d cases, want %d", rep.Runs, want)
 	}
 }
@@ -55,12 +55,13 @@ func TestPerturbationDeterminism(t *testing.T) {
 	}
 }
 
-// TestMutationCaught seeds a deliberate ordering bug (the resequencer
-// disabled via SetDebugUnordered) and requires the msgorder oracle to
-// catch it, the failing seed to shrink, and the shrunk script to
-// replay the failure deterministically.
-func TestMutationCaught(t *testing.T) {
-	o := Options{Seeds: 60, Unordered: true, Kernels: []string{"msgorder"}}
+// mutationCaught seeds a deliberate ordering bug (the kernel's
+// ordering machinery disabled via Spec/SetDebugUnordered) and requires
+// the kernel's oracle to catch it, the failing seed to shrink, and the
+// shrunk script to replay the failure deterministically.
+func mutationCaught(t *testing.T, kernel string) {
+	t.Helper()
+	o := Options{Seeds: 60, Unordered: true, Kernels: []string{kernel}}
 	rep, err := Run(o)
 	if err != nil {
 		t.Fatalf("mutation sweep failed to run: %v", err)
@@ -90,6 +91,20 @@ func TestMutationCaught(t *testing.T) {
 		t.Fatalf("violation not deterministic:\n  %s\n  %s", v.String(), v2.String())
 	}
 }
+
+// TestMutationCaught: the MPI non-overtaking resequencer disabled,
+// caught by the msgorder exact-matching oracle.
+func TestMutationCaught(t *testing.T) { mutationCaught(t, "msgorder") }
+
+// TestStreamMutationCaught: stream-triggered descriptors firing
+// without waiting for their stream predecessor, caught by the
+// streamorder fire-log oracle.
+func TestStreamMutationCaught(t *testing.T) { mutationCaught(t, "streamorder") }
+
+// TestChannelMutationCaught: the memory channel's receive resequencer
+// bypassed, caught by the chanfifo arrival-order oracle once fault
+// injection reorders the wire.
+func TestChannelMutationCaught(t *testing.T) { mutationCaught(t, "chanfifo") }
 
 // TestCleanWithoutFaults checks the schedule fuzzer alone (drops and
 // spikes disabled): pure same-timestamp reordering plus jitter must

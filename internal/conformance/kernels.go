@@ -23,10 +23,12 @@ import (
 
 // Transport names used by the case table and Options filters.
 const (
-	TwoSided = "two-sided"
-	OneSided = "one-sided"
-	Shmem    = "shmem"
-	Notified = "notified"
+	TwoSided   = "two-sided"
+	OneSided   = "one-sided"
+	Shmem      = "shmem"
+	Notified   = "notified"
+	StreamTrig = "stream-triggered"
+	MemChan    = "memchannel"
 )
 
 // chaos bundles the fuzzing configuration of one run. The zero value
@@ -97,10 +99,11 @@ func testMatrix() *spmat.SupTri {
 }
 
 // workloadMachine picks the conformance machine for a workload cell:
-// a GPU platform for the shmem stack, a CPU platform (with notified
-// access calibrated) otherwise.
+// a GPU platform for the device-driven stacks (shmem, stream-
+// triggered), a CPU platform (with notified access and memory
+// channels calibrated) otherwise.
 func workloadMachine(kind comm.Kind, cpu, gpu string) *machine.Config {
-	if kind == comm.Shmem {
+	if kind == comm.Shmem || kind == comm.StreamTriggered {
 		return mach(gpu)
 	}
 	return mach(cpu)
@@ -108,28 +111,37 @@ func workloadMachine(kind comm.Kind, cpu, gpu string) *machine.Config {
 
 // allCases enumerates the full conformance matrix: the three paper
 // workloads on every transport they support (each cell one table row
-// against the unified internal/comm kernel), plus three micro-kernels
+// against the unified internal/comm kernel), plus five micro-kernels
 // targeting the semantics the workloads cannot isolate (message
 // ordering with wildcards, collective correctness, put-with-signal
-// visibility and quiet ordering).
+// visibility and quiet ordering, stream-dependency firing order, and
+// channel FIFO delivery).
 func allCases() []kcase {
 	return []kcase{
 		{"stencil", TwoSided, stencilRun(TwoSided)},
 		{"stencil", OneSided, stencilRun(OneSided)},
 		{"stencil", Notified, stencilRun(Notified)},
 		{"stencil", Shmem, stencilRun(Shmem)},
+		{"stencil", StreamTrig, stencilRun(StreamTrig)},
+		{"stencil", MemChan, stencilRun(MemChan)},
 		{"sptrsv", TwoSided, sptrsvRun(TwoSided)},
 		{"sptrsv", OneSided, sptrsvRun(OneSided)},
 		{"sptrsv", Shmem, sptrsvRun(Shmem)},
 		{"sptrsv", Notified, sptrsvRun(Notified)},
+		{"sptrsv", StreamTrig, sptrsvRun(StreamTrig)},
+		{"sptrsv", MemChan, sptrsvRun(MemChan)},
 		{"hashtable", TwoSided, hashtableRun(TwoSided)},
 		{"hashtable", OneSided, hashtableRun(OneSided)},
 		{"hashtable", Notified, hashtableRun(Notified)},
 		{"hashtable", Shmem, hashtableRun(Shmem)},
+		{"hashtable", StreamTrig, hashtableRun(StreamTrig)},
+		{"hashtable", MemChan, hashtableRun(MemChan)},
 		{"msgorder", TwoSided, msgorderRun},
 		{"coll4", TwoSided, collectivesRun(4)},
 		{"coll5", TwoSided, collectivesRun(5)},
 		{"putsignal", Shmem, putsignalRun},
+		{"streamorder", StreamTrig, streamorderRun},
+		{"chanfifo", MemChan, chanfifoRun},
 	}
 }
 
@@ -550,4 +562,159 @@ func putsignalRun(ch chaos) (outcome, error) {
 		h.Write(j.PE(pe).Heap())
 	}
 	return outcome{fp: fmt.Sprintf("heap=%016x", h.Sum64()), digest: j.Digest()}, nil
+}
+
+const (
+	soSlots     = 12
+	soSlotBytes = 32
+)
+
+// streamorderRun is the stream-triggered dependency oracle on a GPU
+// pair: rank 0 enqueues soSlots fused put-with-signal descriptors on
+// its device stream and quiets, rank 1 consumes every slot. The
+// oracle reads the stream's enqueue/ready/fire log afterwards and
+// requires that no descriptor fired before its stream dependency
+// resolved (At >= Ready) nor before its predecessor completed
+// (At >= previous Done) — the contract Spec.DebugUnordered
+// deliberately breaks for mutation testing. Payloads must land
+// uncorrupted in their slots regardless.
+func streamorderRun(ch chaos) (outcome, error) {
+	pattern := func(slot int) []byte {
+		b := make([]byte, soSlotBytes)
+		for i := range b {
+			b[i] = byte(slot*17 + i + 3)
+		}
+		return b
+	}
+	tr, err := comm.New(comm.Spec{
+		Machine: mach("perlmutter-gpu"), Kind: comm.StreamTriggered, Ranks: 2,
+		StreamSlots: []int{0, soSlots}, SlotBytes: soSlotBytes,
+		Shards: ch.shards, Perturb: ch.perturb, Faults: ch.faults,
+		NoTrace: true, DebugUnordered: ch.unordered,
+	})
+	if err != nil {
+		return outcome{}, err
+	}
+	got := make([][]byte, soSlots)
+	err = tr.Launch(func(ep comm.Endpoint) {
+		switch ep.Rank() {
+		case 0:
+			for s := 0; s < soSlots; s++ {
+				ep.Deliver(1, s, pattern(s))
+			}
+			ep.Quiet()
+		case 1:
+			for n := 0; n < soSlots; n++ {
+				slot, data := ep.WaitAnySlot()
+				got[slot] = append([]byte(nil), data[:soSlotBytes]...)
+			}
+		}
+	})
+	if err != nil {
+		return outcome{}, err
+	}
+	ins, ok := tr.(comm.StreamInspector)
+	if !ok {
+		return outcome{}, fmt.Errorf("streamorder: transport does not expose its device stream")
+	}
+	log := ins.Stream(0).Log()
+	if len(log) != soSlots {
+		return outcome{}, fmt.Errorf("streamorder: stream logged %d descriptors, want %d", len(log), soSlots)
+	}
+	for i, f := range log {
+		if f.At < f.Ready {
+			return outcome{}, fmt.Errorf(
+				"streamorder: descriptor %d fired at %v before its stream dependency resolved at %v",
+				i, f.At, f.Ready)
+		}
+		if i > 0 && f.At < log[i-1].Done {
+			return outcome{}, fmt.Errorf(
+				"streamorder: descriptor %d fired at %v before predecessor completed at %v",
+				i, f.At, log[i-1].Done)
+		}
+	}
+	h := fnv.New64a()
+	for s, b := range got {
+		if !bytes.Equal(b, pattern(s)) {
+			return outcome{}, fmt.Errorf("streamorder: slot %d payload corrupted", s)
+		}
+		h.Write(b)
+	}
+	return outcome{fp: fmt.Sprintf("stream=%016x", h.Sum64()), digest: tr.Digest()}, nil
+}
+
+const (
+	cfSlots     = 16
+	cfSlotBytes = 24
+)
+
+// chanfifoRun is the memory-channel FIFO oracle on a CPU pair: rank 0
+// streams cfSlots numbered writes down its channel to rank 1 and
+// drains it. Fault injection legally reorders the wire (spikes and
+// drop-retransmits overtake); the channel's resequencer must still
+// apply the writes strictly in sequence order, so the arrival log
+// afterwards must be exactly 0..cfSlots-1 — the contract
+// Spec.DebugUnordered deliberately breaks for mutation testing.
+func chanfifoRun(ch chaos) (outcome, error) {
+	pattern := func(slot int) []byte {
+		b := make([]byte, cfSlotBytes)
+		for i := range b {
+			b[i] = byte(slot*29 + i + 11)
+		}
+		return b
+	}
+	tr, err := comm.New(comm.Spec{
+		Machine: mach("perlmutter-cpu"), Kind: comm.MemChannel, Ranks: 2,
+		StreamSlots: []int{0, cfSlots}, SlotBytes: cfSlotBytes,
+		Shards: ch.shards, Perturb: ch.perturb, Faults: ch.faults,
+		NoTrace: true, DebugUnordered: ch.unordered,
+	})
+	if err != nil {
+		return outcome{}, err
+	}
+	got := make([][]byte, cfSlots)
+	err = tr.Launch(func(ep comm.Endpoint) {
+		switch ep.Rank() {
+		case 0:
+			for s := 0; s < cfSlots; s++ {
+				ep.Deliver(1, s, pattern(s))
+			}
+			ep.Quiet()
+		case 1:
+			for n := 0; n < cfSlots; n++ {
+				slot, data := ep.WaitAnySlot()
+				got[slot] = append([]byte(nil), data[:cfSlotBytes]...)
+			}
+		}
+	})
+	if err != nil {
+		return outcome{}, err
+	}
+	ins, ok := tr.(comm.ChannelInspector)
+	if !ok {
+		return outcome{}, fmt.Errorf("chanfifo: transport does not expose its channels")
+	}
+	c := ins.Channels(0)[1]
+	if c.Sent() != cfSlots {
+		return outcome{}, fmt.Errorf("chanfifo: channel carried %d writes, want %d", c.Sent(), cfSlots)
+	}
+	arr := c.Arrivals()
+	if len(arr) != cfSlots {
+		return outcome{}, fmt.Errorf("chanfifo: channel applied %d writes, want %d", len(arr), cfSlots)
+	}
+	for i, seq := range arr {
+		if seq != uint64(i) {
+			return outcome{}, fmt.Errorf(
+				"chanfifo: FIFO violated: write %d applied at position %d (application order %v)",
+				seq, i, arr)
+		}
+	}
+	h := fnv.New64a()
+	for s, b := range got {
+		if !bytes.Equal(b, pattern(s)) {
+			return outcome{}, fmt.Errorf("chanfifo: slot %d payload corrupted", s)
+		}
+		h.Write(b)
+	}
+	return outcome{fp: fmt.Sprintf("chan=%016x", h.Sum64()), digest: tr.Digest()}, nil
 }

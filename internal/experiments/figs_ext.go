@@ -7,8 +7,10 @@ import (
 	"msgroofline/internal/ccl"
 	"msgroofline/internal/comm"
 	"msgroofline/internal/hashtable"
+	"msgroofline/internal/machine"
 	"msgroofline/internal/plot"
 	"msgroofline/internal/shmem"
+	"msgroofline/internal/sim"
 	"msgroofline/internal/spmat"
 	"msgroofline/internal/sptrsv"
 	"msgroofline/internal/table"
@@ -139,6 +141,109 @@ func ExtFrontierGPU(env *Env) (*Output, error) {
 		Notes: []string{
 			"The paper excluded Frontier GPUs because ROC_SHMEM lacked wait_until_any (§II); our SHMEM layer implements it, so the full workload suite runs.",
 			"ROC_SHMEM parameters are projections (no paper data to calibrate against); results are marked as extension output, not reproduction.",
+		},
+	}, nil
+}
+
+// extOffloadSweeps declares ExtOffload's bench sweeps for the dedup
+// planner.
+func extOffloadSweeps(s Scale) []SweepReq {
+	ns, sizes := sweepDims(s)
+	return []SweepReq{
+		{Machine: "perlmutter-gpu", Spec: bench.Spec{Transport: bench.StreamTriggered, Ns: ns, Sizes: sizes}},
+		{Machine: "perlmutter-cpu", Spec: bench.Spec{Transport: bench.MemChannel, Ns: ns, Sizes: sizes}},
+	}
+}
+
+// ExtOffload contrasts the two offloaded transports against their
+// host-driven baselines: stream-triggered MPI moves the host overhead
+// o off the critical path (descriptors enqueue ahead of time, the
+// trigger engine pays T on it instead), and the RAMC-style memory
+// channel amortizes a one-time open handshake over an ordered FIFO.
+func ExtOffload(env *Env) (*Output, error) {
+	ns, sizes := sweepDims(env.Scale)
+	gpu, err := getMachine("perlmutter-gpu")
+	if err != nil {
+		return nil, err
+	}
+	cpu, err := getMachine("perlmutter-cpu")
+	if err != nil {
+		return nil, err
+	}
+	resST, err := bench.Sweep(gpu, bench.Spec{Transport: bench.StreamTriggered, Ns: ns, Sizes: sizes, Cache: env.Cache, Shards: env.Shards})
+	if err != nil {
+		return nil, err
+	}
+	resMC, err := bench.Sweep(cpu, bench.Spec{Transport: bench.MemChannel, Ns: ns, Sizes: sizes, Cache: env.Cache, Shards: env.Shards})
+	if err != nil {
+		return nil, err
+	}
+
+	// The o/L split: where each transport's per-message cost lives.
+	split := table.New("Extension — offloaded transports: o/L split vs host-driven baselines",
+		"Machine", "Transport", "o (us)", "L+T (us)", "ceiling @8B", "ceiling @1MB")
+	for _, r := range []struct {
+		cfg      string
+		base, tr machine.Transport
+	}{
+		{"perlmutter-gpu", machine.GPUShmem, machine.StreamTriggered},
+		{"perlmutter-cpu", machine.OneSided, machine.MemChannel},
+	} {
+		cfg, err := getMachine(r.cfg)
+		if err != nil {
+			return nil, err
+		}
+		in, err := cfg.Instantiate(2)
+		if err != nil {
+			return nil, err
+		}
+		for _, tr := range []machine.Transport{r.base, r.tr} {
+			p, err := in.ModelParams(tr, 0, 1)
+			if err != nil {
+				return nil, err
+			}
+			ceil := p.RoundedBandwidth
+			if p.Trigger > 0 || tr == machine.MemChannel {
+				ceil = p.OffloadBandwidth
+			}
+			split.AddRow(cfg.Name, tr.String(), usStr(sim.Time(p.OpsPerMsg)*p.O),
+				usStr(p.L+p.Trigger),
+				fmt.Sprintf("%.4f GB/s", ceil(8)/1e9),
+				fmt.Sprintf("%.1f GB/s", ceil(1<<20)/1e9))
+		}
+	}
+
+	// Micro-numbers: the calibrated constants recovered from timing.
+	micro := table.New("Offload micro-measurements (recovered vs calibrated)",
+		"Quantity", "Measured", "Calibrated")
+	trig, err := bench.TriggerDelayCached(env.Cache, gpu, 2, 64)
+	if err != nil {
+		return nil, err
+	}
+	stp, _ := gpu.Params(machine.StreamTriggered)
+	micro.AddRow("stream trigger delivery latency (perlmutter-gpu)",
+		usStr(trig)+" us", usStr(stp.TriggerLatency)+" us trigger")
+	open, err := bench.ChannelOpenCached(env.Cache, cpu, 2)
+	if err != nil {
+		return nil, err
+	}
+	mcp, _ := cpu.Params(machine.MemChannel)
+	micro.AddRow("memory-channel open handshake (perlmutter-cpu)",
+		usStr(open)+" us", usStr(mcp.ChannelOpen)+" us open")
+
+	var series []plot.Series
+	series = append(series, resST.Series()...)
+	series = append(series, resMC.Series()...)
+	return &Output{
+		ID:     "ext-offload",
+		Title:  "Offloaded transports: stream-triggered MPI and memory channels",
+		Text:   split.Render() + "\n" + micro.Render(),
+		Series: series,
+		Notes: []string{
+			"Stream-triggered puts show near-zero host o: the cost moved into the trigger latency T, so the small-message ceiling is set by L+T alone (OffloadBandwidth).",
+			"The memory channel pays a one-time per-destination open; steady-state sends ride a single fused op with FIFO ordering guaranteed by the channel, not by fences.",
+			fmt.Sprintf("Measured trigger delay %.2f us ~= L+T for an 8 B descriptor; measured cold-minus-warm open cost recovers the calibrated %.0f us handshake exactly.",
+				trig.Microseconds(), mcp.ChannelOpen.Microseconds()),
 		},
 	}, nil
 }

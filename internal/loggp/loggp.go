@@ -30,6 +30,11 @@ type Params struct {
 	Gap       sim.Time // minimum inter-injection gap per message
 	Bandwidth float64  // bytes per second (G = 1/Bandwidth)
 	OpsPerMsg int      // library operations needed per application message
+	// Trigger is the device-side fire delay of offloaded transports
+	// (stream-triggered MPI): latency paid between dependency
+	// resolution and wire entry. It extends L, not o — the host is off
+	// the critical path — so every latency term below uses L+Trigger.
+	Trigger sim.Time
 }
 
 // G returns the per-byte time in picoseconds (1/bandwidth).
@@ -49,7 +54,7 @@ func (p Params) Validate() error {
 	// bandwidth through and G() would poison every downstream time.
 	case math.IsNaN(p.Bandwidth) || math.IsInf(p.Bandwidth, 0) || p.Bandwidth <= 0:
 		return fmt.Errorf("loggp: bandwidth must be positive and finite, got %v", p.Bandwidth)
-	case p.L < 0 || p.O < 0 || p.Gap < 0:
+	case p.L < 0 || p.O < 0 || p.Gap < 0 || p.Trigger < 0:
 		return errors.New("loggp: negative time parameter")
 	case p.OpsPerMsg < 1:
 		return fmt.Errorf("loggp: OpsPerMsg must be >= 1, got %d", p.OpsPerMsg)
@@ -69,7 +74,10 @@ func (p Params) SerTime(b int64) sim.Time {
 // larger of the gap and the wire time per message (n·max(g, B·G));
 // latency is paid once because overlapped messages hide it:
 //
-//	t(n, B) = n·k·o + L + n·max(g, B·G)
+//	t(n, B) = n·k·o + (L+T) + n·max(g, B·G)
+//
+// where T is the trigger latency of offloaded transports (zero for
+// host-driven stacks).
 func (p Params) SweepTime(n int, b int64) sim.Time {
 	if n <= 0 {
 		return 0
@@ -78,7 +86,7 @@ func (p Params) SweepTime(n int, b int64) sim.Time {
 	if p.Gap > per {
 		per = p.Gap
 	}
-	return sim.Time(n)*sim.Time(p.OpsPerMsg)*p.O + p.L + sim.Time(n)*per
+	return sim.Time(n)*sim.Time(p.OpsPerMsg)*p.O + p.L + p.Trigger + sim.Time(n)*per
 }
 
 // SweepBandwidth returns the modeled sustained bandwidth (bytes/s) of
@@ -105,8 +113,8 @@ func (p Params) MsgLatency(n int, b int64) sim.Time {
 // ceilings that is never practically reached.
 func (p Params) SharpBandwidth(b int64) float64 {
 	denom := sim.Time(p.OpsPerMsg) * p.O
-	if p.L > denom {
-		denom = p.L
+	if lat := p.L + p.Trigger; lat > denom {
+		denom = lat
 	}
 	if ser := p.SerTime(b); ser > denom {
 		denom = ser
@@ -120,7 +128,7 @@ func (p Params) SharpBandwidth(b int64) float64 {
 // RoundedBandwidth is the empirically observed "rounded" bound,
 // B / (o + max(L, B·G)): overhead always adds to the message time.
 func (p Params) RoundedBandwidth(b int64) float64 {
-	m := p.L
+	m := p.L + p.Trigger
 	if ser := p.SerTime(b); ser > m {
 		m = ser
 	}
@@ -131,8 +139,28 @@ func (p Params) RoundedBandwidth(b int64) float64 {
 	return float64(b) / denom.Seconds()
 }
 
+// OffloadBandwidth is the roofline ceiling of a fully offloaded
+// transport: the host overhead o is off the critical path (descriptors
+// are enqueued ahead of time), so messages are bounded only by the
+// triggered latency and the wire, B / max(L+T, B·G). For Trigger == 0
+// this degenerates to the latency/wire ceiling without the o term.
+func (p Params) OffloadBandwidth(b int64) float64 {
+	denom := p.L + p.Trigger
+	if ser := p.SerTime(b); ser > denom {
+		denom = ser
+	}
+	if denom <= 0 {
+		return 0
+	}
+	return float64(b) / denom.Seconds()
+}
+
 // String renders the parameters in human units.
 func (p Params) String() string {
+	if p.Trigger > 0 {
+		return fmt.Sprintf("LogGP{L=%v o=%v g=%v bw=%.1fGB/s ops/msg=%d trigger=%v}",
+			p.L, p.O, p.Gap, p.Bandwidth/1e9, p.OpsPerMsg, p.Trigger)
+	}
 	return fmt.Sprintf("LogGP{L=%v o=%v g=%v bw=%.1fGB/s ops/msg=%d}",
 		p.L, p.O, p.Gap, p.Bandwidth/1e9, p.OpsPerMsg)
 }

@@ -31,6 +31,20 @@ var rocshmemFrontier = TransportParams{
 // FrontierGPUName is the catalog key of the extension platform.
 const FrontierGPUName = "frontier-gpu"
 
+// streamTrigFrontier projects a stream-triggered stack onto the
+// MI250X node: same enqueue-cheap/trigger-late split as the NVIDIA
+// machines, with the less-mature stack's higher constants.
+var streamTrigFrontier = TransportParams{
+	OpOverhead:          ns(30),
+	OpsPerMsg:           2,
+	SoftLatency:         us(4.0),
+	Gap:                 ns(350),
+	AtomicTime:          ns(600),
+	AtomicLinkOccupancy: ns(300),
+	SyncRoundTrips:      1,
+	TriggerLatency:      us(1.6),
+}
+
 // hostMPIFrontierGPU is the host-staged Cray MPI path: device buffers
 // cross the Infinity Fabric CPU-GPU link before the host MPI stack.
 var hostMPIFrontierGPU = TransportParams{
@@ -50,8 +64,9 @@ var FrontierGPU = register(&Config{
 	MaxRanks:       4,
 	TheoreticalGBs: 50,
 	Transports: map[Transport]TransportParams{
-		GPUShmem: rocshmemFrontier,
-		TwoSided: hostMPIFrontierGPU,
+		GPUShmem:        rocshmemFrontier,
+		TwoSided:        hostMPIFrontierGPU,
+		StreamTriggered: streamTrigFrontier,
 	},
 	GPU: &GPUConfig{
 		BlocksPerGPU: 110, // MI250X: 110 CUs per GCD

@@ -53,6 +53,17 @@ const (
 	// notified access, Belli & Hoefler 2015) — one fused operation,
 	// one network flight, no user-implemented receiver polling.
 	NotifiedAccess
+	// StreamTriggered is CPU-free stream-triggered communication
+	// (Bridges et al.): the host enqueues descriptors onto the device
+	// stream and the GPU fires them when stream dependencies resolve.
+	// Host per-op overhead is near zero; a trigger latency is paid at
+	// fire time instead.
+	StreamTriggered
+	// MemChannel is a RAMC-style ordered remote-memory channel
+	// (Schonbein et al.): per-(src,dst) FIFO byte streams with
+	// channel-open and credit semantics. Ordering replaces per-op
+	// completion; quiet/fence map to channel drainage.
+	MemChannel
 )
 
 // String names the transport as used in figures.
@@ -66,6 +77,10 @@ func (t Transport) String() string {
 		return "gpu-shmem"
 	case NotifiedAccess:
 		return "notified-access"
+	case StreamTriggered:
+		return "stream-triggered"
+	case MemChannel:
+		return "memchannel"
 	default:
 		return fmt.Sprintf("Transport(%d)", int(t))
 	}
@@ -115,6 +130,18 @@ type TransportParams struct {
 	// device fabric — the classic host-initiated MPI path the paper's
 	// introduction contrasts with GPU-initiated communication.
 	HostStaged bool
+	// TriggerLatency is the device-side delay between stream-dependency
+	// resolution and the descriptor entering the wire (StreamTriggered
+	// only). It is latency, not overhead: the host is off the critical
+	// path, so the model folds it into L rather than o.
+	TriggerLatency sim.Time
+	// ChannelOpen is the one-time cost of establishing an ordered
+	// memory channel to a peer (MemChannel only); charged lazily on
+	// the first send of each (src,dst) pair.
+	ChannelOpen sim.Time
+	// ChannelCredits bounds the sender-side in-flight messages per
+	// channel (MemChannel only); 0 means unbounded.
+	ChannelCredits int
 }
 
 // Place locates a rank on the fabric.
@@ -258,6 +285,7 @@ func (in *Instance) ModelParams(t Transport, src, dst int) (loggp.Params, error)
 		Gap:       tp.Gap,
 		Bandwidth: bw,
 		OpsPerMsg: tp.OpsPerMsg,
+		Trigger:   tp.TriggerLatency,
 	}, nil
 }
 
@@ -301,6 +329,9 @@ func (c *Config) AppendFingerprint(b []byte) []byte {
 		b = appendInt(b, "syncroundtrips", int64(tp.SyncRoundTrips))
 		b = appendInt(b, "crosssocketextra", int64(tp.CrossSocketExtra))
 		b = appendBool(b, "hoststaged", tp.HostStaged)
+		b = appendInt(b, "triggerlatency", int64(tp.TriggerLatency))
+		b = appendInt(b, "channelopen", int64(tp.ChannelOpen))
+		b = appendInt(b, "channelcredits", int64(tp.ChannelCredits))
 	}
 	b = appendBool(b, "gpu", c.GPU != nil)
 	if c.GPU != nil {

@@ -121,6 +121,52 @@ var nvshmemSummit = TransportParams{
 	CrossSocketExtra: us(2.5),
 }
 
+// streamTrigPerlmutter / streamTrigSummit are stream-triggered MPI
+// stacks (Bridges et al.): the host enqueues descriptors onto the
+// device stream ahead of time, so the per-op host overhead collapses
+// to the enqueue cost (~tens of ns, off the critical path at fire
+// time) while the device-side trigger engine adds a fixed latency to
+// every message. One descriptor per message: the trigger fires the
+// fused put, and stream order replaces explicit completion ops.
+var streamTrigPerlmutter = TransportParams{
+	OpOverhead:          ns(20), // host enqueue only; fires without host
+	OpsPerMsg:           2,      // descriptor + fused put-with-signal
+	SoftLatency:         us(2.8),
+	Gap:                 ns(250),
+	AtomicTime:          ns(400),
+	AtomicLinkOccupancy: ns(150),
+	SyncRoundTrips:      1,
+	TriggerLatency:      us(1.1), // stream-dependency resolution + doorbell
+}
+
+var streamTrigSummit = TransportParams{
+	OpOverhead:          ns(25),
+	OpsPerMsg:           2,
+	SoftLatency:         us(3.6),
+	Gap:                 ns(300),
+	AtomicTime:          ns(550),
+	AtomicLinkOccupancy: ns(500),
+	SyncRoundTrips:      1,
+	CrossSocketExtra:    us(2.5),
+	TriggerLatency:      us(1.4),
+}
+
+// crayMemChannel is the RAMC-style ordered memory channel over
+// Slingshot (Schonbein et al.): one op per message (a channel write —
+// ordering replaces per-op completion, so there are no flush ops),
+// sender-side credits bound in-flight messages, and a one-time
+// channel-open handshake is paid on first use of each (src,dst) pair.
+var crayMemChannel = TransportParams{
+	OpOverhead:     ns(60),
+	OpsPerMsg:      1, // one channel write; no completion ops
+	SoftLatency:    us(2.0),
+	Gap:            ns(45),
+	AtomicTime:     us(1.6),
+	SyncRoundTrips: 1, // drain waits one round trip for the channel tail
+	ChannelOpen:    us(12),
+	ChannelCredits: 64,
+}
+
 // Host-initiated MPI on the GPU machines: the classic staging path
 // (device -> host copy, MPI between hosts, host -> device copy) that
 // the paper's introduction contrasts with GPU-initiated communication.
@@ -160,6 +206,7 @@ var PerlmutterCPU = register(&Config{
 		TwoSided:       crayTwoSided,
 		OneSided:       crayOneSided,
 		NotifiedAccess: crayNotified,
+		MemChannel:     crayMemChannel,
 	},
 	MemBandwidth: 80 * gb,
 	MemLatency:   ns(350),
@@ -203,6 +250,7 @@ var FrontierCPU = register(&Config{
 		TwoSided:       crayTwoSided,
 		OneSided:       crayOneSided,
 		NotifiedAccess: crayNotified,
+		MemChannel:     crayMemChannel,
 	},
 	MemBandwidth: 80 * gb,
 	MemLatency:   ns(350),
@@ -289,8 +337,9 @@ var PerlmutterGPU = register(&Config{
 	MaxRanks:       4,
 	TheoreticalGBs: 100,
 	Transports: map[Transport]TransportParams{
-		GPUShmem: nvshmemPerlmutter,
-		TwoSided: hostMPIPerlmutterGPU,
+		GPUShmem:        nvshmemPerlmutter,
+		TwoSided:        hostMPIPerlmutterGPU,
+		StreamTriggered: streamTrigPerlmutter,
 	},
 	GPU: &GPUConfig{
 		BlocksPerGPU: 80,
@@ -341,8 +390,9 @@ var SummitGPU = register(&Config{
 	MaxRanks:       6,
 	TheoreticalGBs: 50,
 	Transports: map[Transport]TransportParams{
-		GPUShmem: nvshmemSummit,
-		TwoSided: hostMPISummitGPU,
+		GPUShmem:        nvshmemSummit,
+		TwoSided:        hostMPISummitGPU,
+		StreamTriggered: streamTrigSummit,
 	},
 	GPU: &GPUConfig{
 		BlocksPerGPU: 80,

@@ -59,6 +59,12 @@ const (
 	KindCAS Kind = "cas"
 	// KindSplit is one Fig-10 split run (volume sent in `parts` parts).
 	KindSplit Kind = "split"
+	// KindTrigger is one averaged stream-trigger delivery latency
+	// measurement (stream-triggered transport micro-number).
+	KindTrigger Kind = "trigger"
+	// KindChan is one memory-channel open-handshake cost measurement
+	// (cold-minus-warm single-message send).
+	KindChan Kind = "chanopen"
 )
 
 // Key is the content address of one simulated point.

@@ -480,12 +480,33 @@ type coupledPerfRecord struct {
 	BusyWall     float64 `json:"busy_wall"`
 }
 
+// topoScaleRecord is one "topo-scale/v1" measurement: coupled-engine
+// throughput of a stencil on a generated extreme-scale fabric (the
+// 10240-rank dragonfly), tracking how the engine scales to fabrics
+// three orders of magnitude past the paper's single nodes.
+type topoScaleRecord struct {
+	Record       string  `json:"record"` // always "topo-scale/v1"
+	Label        string  `json:"label"`
+	Date         string  `json:"date"`
+	Topology     string  `json:"topology"`
+	Ranks        int     `json:"ranks"`
+	Groups       int     `json:"groups"`
+	Shards       int     `json:"shards"`
+	Cores        int     `json:"cores"`
+	Windows      uint64  `json:"windows"`
+	Events       int64   `json:"events"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	BusyWall     float64 `json:"busy_wall"`
+}
+
 type simPerfFile struct {
 	Schema    string              `json:"schema"`
 	Records   []simPerfRecord     `json:"records"`
 	SuiteWall []suiteWallRecord   `json:"suite_wall,omitempty"`
 	Sharded   []shardedPerfRecord `json:"sharded,omitempty"`
 	Coupled   []coupledPerfRecord `json:"coupled,omitempty"`
+	TopoScale []topoScaleRecord   `json:"topo_scale,omitempty"`
 }
 
 const simPerfPath = "BENCH_sim.json"
@@ -669,6 +690,75 @@ func TestRecordSimPerfTrajectory(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("appended %d records to %s", len(recs), simPerfPath)
+}
+
+// TestRecordTopoScale appends a topo-scale/v1 record to BENCH_sim.json:
+//
+//	BENCH_TOPO_RECORD=<label> go test -run TestRecordTopoScale .
+//
+// It runs a one-sided stencil across all 10240 ranks of the generated
+// dragonfly-10k fabric (128x80 decomposition, 1024 node groups) on the
+// coupled engine at -shards 4 and records events/sec and busy/wall —
+// the scaling datapoint for fabrics three orders of magnitude beyond
+// the paper's single nodes.
+func TestRecordTopoScale(t *testing.T) {
+	label := os.Getenv("BENCH_TOPO_RECORD")
+	if label == "" {
+		t.Skip("set BENCH_TOPO_RECORD=<label> to append topology-scale throughput to BENCH_sim.json")
+	}
+	cfg, err := machine.Get("dragonfly-10k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 4
+	before := simruntime.Usage()
+	start := time.Now()
+	if _, err := stencil.Run(stencil.Config{
+		Machine: cfg, Transport: comm.OneSided,
+		Grid: 1280, Iters: 2, PX: 128, PY: 80, Shards: shards,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+	after := simruntime.Usage()
+	var events int64
+	for _, n := range after.Events {
+		events += n
+	}
+	for _, n := range before.Events {
+		events -= n
+	}
+	busy := after.Busy - before.Busy
+	nsPerEvent := float64(wall.Nanoseconds()) / float64(events)
+	rec := topoScaleRecord{
+		Record: "topo-scale/v1", Label: label, Date: time.Now().UTC().Format("2006-01-02"),
+		Topology: "dragonfly-10k", Ranks: 10240,
+		Groups: len(after.Events), Shards: shards,
+		Cores:        runtime.NumCPU(),
+		Windows:      after.Windows - before.Windows,
+		Events:       events,
+		NsPerEvent:   nsPerEvent,
+		EventsPerSec: 1e9 / nsPerEvent,
+		BusyWall:     float64(busy) / float64(wall),
+	}
+	t.Logf("ranks=10240 shards=%d: %d events over %d windows, %.1f ns/event, %.2fM events/sec, busy/wall %.2f",
+		shards, rec.Events, rec.Windows, nsPerEvent, rec.EventsPerSec/1e6, rec.BusyWall)
+	var f simPerfFile
+	if data, err := os.ReadFile(simPerfPath); err == nil && len(data) > 0 {
+		if err := json.Unmarshal(data, &f); err != nil {
+			t.Fatalf("parse %s: %v", simPerfPath, err)
+		}
+	}
+	f.Schema = "sim-engine-perf/v1"
+	f.TopoScale = append(f.TopoScale, rec)
+	out, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(simPerfPath, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("appended topo-scale record to %s", simPerfPath)
 }
 
 // TestRecordCoupledPerf appends sharded-coupled/v1 records to

@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	mName := flag.String("machine", "perlmutter-cpu", "machine configuration")
+	mName := flag.String("machine", "perlmutter-cpu", "machine: "+machine.NameList())
 	variant := flag.String("variant", "one-sided", "transport: "+comm.KindList()+" (alias: gpu = shmem)")
 	ranks := flag.Int("ranks", 4, "MPI ranks / GPU PEs")
 	blocks := flag.Int("blocks", 0, "GPU thread-block concurrency (gpu variant)")

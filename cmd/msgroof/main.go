@@ -28,7 +28,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"msgroofline/internal/bench"
 	"msgroofline/internal/cliflags"
@@ -41,7 +40,7 @@ import (
 )
 
 func main() {
-	mName := flag.String("machine", "perlmutter-cpu", "machine: "+strings.Join(machine.Names(), ", "))
+	mName := flag.String("machine", "perlmutter-cpu", "machine: "+machine.NameList())
 	tName := flag.String("transport", "two-sided", "transport: "+bench.TransportList())
 	split := flag.Bool("split", false, "run the Fig-10 message-splitting experiment instead of a sweep")
 	csvPath := flag.String("csv", "", "write measured series to this CSV file")

@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	mName := flag.String("machine", "perlmutter-cpu", "machine configuration")
+	mName := flag.String("machine", "perlmutter-cpu", "machine: "+machine.NameList())
 	variant := flag.String("variant", "two-sided", "transport: "+comm.KindList()+" (alias: gpu = shmem)")
 	ranks := flag.Int("ranks", 4, "MPI ranks / GPU PEs")
 	full := flag.Bool("full", false, "use the full M3D-C1-like factor (default: quick-scale)")

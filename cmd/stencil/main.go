@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	mName := flag.String("machine", "perlmutter-cpu", "machine configuration")
+	mName := flag.String("machine", "perlmutter-cpu", "machine: "+machine.NameList())
 	variant := flag.String("variant", "two-sided", "transport: "+comm.KindList()+" (alias: gpu = shmem)")
 	verify := flag.Bool("verify", false, "carry real grid data and check against the serial reference (small grids)")
 	showMatrix := flag.Bool("matrix", false, "print the halo traffic heat map")

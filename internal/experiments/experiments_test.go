@@ -8,7 +8,7 @@ import (
 func TestRegistryCoversPaper(t *testing.T) {
 	want := []string{"tableI", "fig1", "fig2", "fig3", "fig4", "tableII",
 		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ext-ccl", "ext-frontier", "ext-notified",
-		"ext-offload"}
+		"ext-offload", "ext-ridgeline"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))

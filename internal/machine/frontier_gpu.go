@@ -1,10 +1,6 @@
 package machine
 
-import (
-	"fmt"
-
-	"msgroofline/internal/netsim"
-)
+import "fmt"
 
 // FrontierGPU is an *extension* platform: the paper excluded the
 // Frontier GPU partition because ROC_SHMEM lacked wait_until_any
@@ -86,21 +82,31 @@ var FrontierGPU = register(&Config{
 		CPURuntime:      "CrayMPI",
 		CPUNICLink:      "PCIe4.0 ESM",
 	},
-	build: func(ranks int) (*netsim.Network, []Place, error) {
-		n := netsim.New()
-		for i := 0; i < 4; i++ {
-			for j := i + 1; j < 4; j++ {
-				n.AddLink(fgName(i), fgName(j), 25*gb, ns(220), 2)
-			}
-			// IF CPU-GPU at 36 GB/s (the Fig 1 data path).
-			n.AddLink(fgName(i), "fg:host", 36*gb, ns(220), 1)
-		}
-		places := make([]Place, ranks)
-		for r := range places {
-			places[r] = Place{Node: fgName(r), Socket: 0, Host: "fg:host"}
-		}
-		return n, places, nil
-	},
+	Topology: Topology{Explicit: frontierGPUExplicit()},
 })
 
 func fgName(i int) string { return fmt.Sprintf("fg:g%d", i) }
+
+// frontierGPUExplicit wires the four MI250X GPUs all-to-all with each
+// GPU's IF CPU-GPU host link (36 GB/s, the Fig 1 data path) in the
+// retired build func's order.
+func frontierGPUExplicit() *Explicit {
+	var links []LinkSpec
+	place := Placement{Kind: PlacePerRank}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			links = append(links, LinkSpec{
+				A: fgName(i), B: fgName(j),
+				GBs: 25, LatencyNs: 220, Channels: 2, Class: "if-gpu",
+			})
+		}
+		links = append(links, LinkSpec{
+			A: fgName(i), B: "fg:host",
+			GBs: 36, LatencyNs: 220, Channels: 1, Class: "if-host",
+		})
+		place.Nodes = append(place.Nodes, fgName(i))
+		place.Sockets = append(place.Sockets, 0)
+		place.Hosts = append(place.Hosts, "fg:host")
+	}
+	return &Explicit{Links: links, Place: place}
+}

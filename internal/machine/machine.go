@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"msgroofline/internal/loggp"
 	"msgroofline/internal/netsim"
@@ -182,8 +183,10 @@ type Config struct {
 	MemLatency   sim.Time
 	// TableRow carries the Table I columns for pretty-printing.
 	TableRow TableRow
-
-	build func(ranks int) (*netsim.Network, []Place, error)
+	// Topology declares the fabric and rank placement (topology.go):
+	// an Explicit link list for the paper machines, or a parametric
+	// Dragonfly/FatTree generator for extreme-scale fabrics.
+	Topology Topology
 }
 
 // GPUConfig models the device side of a GPU machine.
@@ -231,7 +234,7 @@ func (c *Config) Instantiate(ranks int) (*Instance, error) {
 	if ranks > c.MaxRanks {
 		return nil, fmt.Errorf("machine %s: %d ranks exceeds capacity %d", c.Name, ranks, c.MaxRanks)
 	}
-	net, places, err := c.build(ranks)
+	net, places, err := c.Topology.Build(ranks)
 	if err != nil {
 		return nil, err
 	}
@@ -301,11 +304,11 @@ func (in *Instance) ModelParams(t Transport, src, dst int) (loggp.Params, error)
 // GPU geometry — changes every key derived from the machine and the
 // cache misses cleanly.
 //
-// The fabric builder func is deliberately not (and cannot be)
-// encoded; topology changes live in code and are covered by the
-// pointcache schema salt (see internal/pointcache and DESIGN.md §10).
-// A reflection-based completeness test in pointcache fails when a new
-// Config field is added without extending this encoding.
+// The Topology spec is encoded field-by-field (topology.go), so two
+// parameterizations of the same generator can never collide on a
+// cache key. A reflection-based completeness test in pointcache fails
+// when a new Config or Topology field is added without extending this
+// encoding.
 func (c *Config) AppendFingerprint(b []byte) []byte {
 	b = appendStr(b, "name", c.Name)
 	b = appendStr(b, "title", c.Title)
@@ -350,6 +353,7 @@ func (c *Config) AppendFingerprint(b []byte) []byte {
 	b = appendStr(b, "trow.cpuinterconnect", c.TableRow.CPUInterconnect)
 	b = appendStr(b, "trow.cpuruntime", c.TableRow.CPURuntime)
 	b = appendStr(b, "trow.cpuniclink", c.TableRow.CPUNICLink)
+	b = c.Topology.appendFingerprint(b)
 	return b
 }
 
@@ -419,4 +423,11 @@ func All() []*Config {
 		out = append(out, catalog[n])
 	}
 	return out
+}
+
+// NameList renders the catalog as a comma-separated string for
+// command usage text, so help output tracks the registry instead of
+// hand-maintained lists.
+func NameList() string {
+	return strings.Join(Names(), ", ")
 }

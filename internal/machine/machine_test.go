@@ -5,7 +5,10 @@ import (
 )
 
 func TestCatalogComplete(t *testing.T) {
-	want := []string{"frontier-cpu", "frontier-gpu", "perlmutter-cpu", "perlmutter-gpu", "summit-cpu", "summit-gpu"}
+	want := []string{
+		"dragonfly-10k", "dragonfly-1k", "fattree-1k",
+		"frontier-cpu", "frontier-gpu", "perlmutter-cpu", "perlmutter-gpu", "summit-cpu", "summit-gpu",
+	}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("catalog = %v, want %v", got, want)
@@ -15,8 +18,11 @@ func TestCatalogComplete(t *testing.T) {
 			t.Fatalf("catalog = %v, want %v", got, want)
 		}
 	}
-	if len(All()) != 6 {
-		t.Fatal("All() should return 6 configs (5 paper platforms + frontier-gpu extension)")
+	if len(All()) != len(want) {
+		t.Fatalf("All() should return %d configs (5 paper platforms + frontier-gpu + 3 generated)", len(want))
+	}
+	if NameList() == "" {
+		t.Fatal("NameList() should render the catalog")
 	}
 }
 

@@ -3,7 +3,6 @@ package machine
 import (
 	"fmt"
 
-	"msgroofline/internal/netsim"
 	"msgroofline/internal/sim"
 )
 
@@ -220,21 +219,14 @@ var PerlmutterCPU = register(&Config{
 		CPURuntime:      "CrayMPI",
 		CPUNICLink:      "PCIe4.0",
 	},
-	build: func(ranks int) (*netsim.Network, []Place, error) {
-		n := netsim.New()
-		n.AddLink("pm:s0", "pm:s1", 32*gb, ns(150), 4)
-		n.AddLink("pm:s0", "pm:nic", 25*gb, ns(250), 1)
-		places := make([]Place, ranks)
-		for r := range places {
-			// Block placement: first half on socket 0 (MPI default).
-			s := 0
-			if r >= (ranks+1)/2 {
-				s = 1
-			}
-			places[r] = Place{Node: fmt.Sprintf("pm:s%d", s), Socket: s}
-		}
-		return n, places, nil
-	},
+	Topology: Topology{Explicit: &Explicit{
+		Links: []LinkSpec{
+			{A: "pm:s0", B: "pm:s1", GBs: 32, LatencyNs: 150, Channels: 4, Class: "socket"},
+			{A: "pm:s0", B: "pm:nic", GBs: 25, LatencyNs: 250, Channels: 1, Class: "nic"},
+		},
+		// Block placement: first half on socket 0 (MPI default).
+		Place: Placement{Kind: PlaceBlock, Nodes: []string{"pm:s0", "pm:s1"}},
+	}},
 })
 
 // FrontierCPU: one 64-core "Optimized 3rd Gen EPYC" socket organized
@@ -264,25 +256,26 @@ var FrontierCPU = register(&Config{
 		CPURuntime:      "CrayMPI",
 		CPUNICLink:      "IF + PCIe4.0 ESM",
 	},
-	build: func(ranks int) (*netsim.Network, []Place, error) {
-		n := netsim.New()
-		for i := 0; i < 4; i++ {
-			for j := i + 1; j < 4; j++ {
-				n.AddLink(fmt.Sprintf("fr:q%d", i), fmt.Sprintf("fr:q%d", j), 36*gb, ns(140), 4)
-			}
-		}
-		places := make([]Place, ranks)
-		per := (ranks + 3) / 4
-		for r := range places {
-			q := r / per
-			if q > 3 {
-				q = 3
-			}
-			places[r] = Place{Node: fmt.Sprintf("fr:q%d", q), Socket: q}
-		}
-		return n, places, nil
-	},
+	Topology: Topology{Explicit: frontierCPUExplicit()},
 })
+
+// frontierCPUExplicit wires the four NUMA quadrants all-to-all, in the
+// same (i, j) order the retired build func used.
+func frontierCPUExplicit() *Explicit {
+	var links []LinkSpec
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			links = append(links, LinkSpec{
+				A: fmt.Sprintf("fr:q%d", i), B: fmt.Sprintf("fr:q%d", j),
+				GBs: 36, LatencyNs: 140, Channels: 4, Class: "numa",
+			})
+		}
+	}
+	return &Explicit{
+		Links: links,
+		Place: Placement{Kind: PlaceBlock, Nodes: []string{"fr:q0", "fr:q1", "fr:q2", "fr:q3"}},
+	}
+}
 
 // SummitCPU: two POWER9 sockets joined by X-Bus. The theoretical
 // 64 GB/s/direction is never approached (the paper observed ~25 GB/s);
@@ -310,19 +303,12 @@ var SummitCPU = register(&Config{
 		CPURuntime:      "IBM Spectrum",
 		CPUNICLink:      "PCIe4.0",
 	},
-	build: func(ranks int) (*netsim.Network, []Place, error) {
-		n := netsim.New()
-		n.AddLink("sm:s0", "sm:s1", 26*gb, ns(300), 2)
-		places := make([]Place, ranks)
-		for r := range places {
-			s := 0
-			if r >= (ranks+1)/2 {
-				s = 1
-			}
-			places[r] = Place{Node: fmt.Sprintf("sm:s%d", s), Socket: s}
-		}
-		return n, places, nil
-	},
+	Topology: Topology{Explicit: &Explicit{
+		Links: []LinkSpec{
+			{A: "sm:s0", B: "sm:s1", GBs: 26, LatencyNs: 300, Channels: 2, Class: "socket"},
+		},
+		Place: Placement{Kind: PlaceBlock, Nodes: []string{"sm:s0", "sm:s1"}},
+	}},
 })
 
 // PerlmutterGPU: four A100s, fully connected NVLink3. Each pair is
@@ -359,23 +345,32 @@ var PerlmutterGPU = register(&Config{
 		CPURuntime:      "-",
 		CPUNICLink:      "PCIe4.0",
 	},
-	build: func(ranks int) (*netsim.Network, []Place, error) {
-		n := netsim.New()
-		for i := 0; i < 4; i++ {
-			for j := i + 1; j < 4; j++ {
-				n.AddLink(fmt.Sprintf("pg:g%d", i), fmt.Sprintf("pg:g%d", j), 25*gb, ns(200), 4)
-			}
-			// Each A100 hangs off the Milan host via its own PCIe4
-			// x16 (host-staged traffic only).
-			n.AddLink(fmt.Sprintf("pg:g%d", i), "pg:host", 25*gb, ns(250), 1)
-		}
-		places := make([]Place, ranks)
-		for r := range places {
-			places[r] = Place{Node: fmt.Sprintf("pg:g%d", r), Socket: 0, Host: "pg:host"}
-		}
-		return n, places, nil
-	},
+	Topology: Topology{Explicit: perlmutterGPUExplicit()},
 })
+
+// perlmutterGPUExplicit interleaves each GPU's NVLink pair links with
+// its PCIe host link (host-staged traffic only), exactly as the
+// retired build func added them.
+func perlmutterGPUExplicit() *Explicit {
+	var links []LinkSpec
+	place := Placement{Kind: PlacePerRank}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			links = append(links, LinkSpec{
+				A: fmt.Sprintf("pg:g%d", i), B: fmt.Sprintf("pg:g%d", j),
+				GBs: 25, LatencyNs: 200, Channels: 4, Class: "nvlink",
+			})
+		}
+		links = append(links, LinkSpec{
+			A: fmt.Sprintf("pg:g%d", i), B: "pg:host",
+			GBs: 25, LatencyNs: 250, Channels: 1, Class: "pcie",
+		})
+		place.Nodes = append(place.Nodes, fmt.Sprintf("pg:g%d", i))
+		place.Sockets = append(place.Sockets, 0)
+		place.Hosts = append(place.Hosts, "pg:host")
+	}
+	return &Explicit{Links: links, Place: place}
+}
 
 // SummitGPU: six V100s in the dual-island dumbbell of Fig 2c. Within
 // an island the three GPUs are fully connected by NVLink2 (two 25 GB/s
@@ -412,28 +407,39 @@ var SummitGPU = register(&Config{
 		CPURuntime:      "IBM Spectrum",
 		CPUNICLink:      "PCIe4.0",
 	},
-	build: func(ranks int) (*netsim.Network, []Place, error) {
-		n := netsim.New()
-		// Islands: g0,g1,g2 on socket 0; g3,g4,g5 on socket 1.
-		for s := 0; s < 2; s++ {
-			base := 3 * s
-			for i := 0; i < 3; i++ {
-				for j := i + 1; j < 3; j++ {
-					n.AddLink(gName(base+i), gName(base+j), 25*gb, ns(200), 2)
-				}
-				// GPU to its island's CPU socket hub (NVLink2).
-				n.AddLink(gName(base+i), fmt.Sprintf("sg:s%d", s), 25*gb, ns(150), 2)
-			}
-		}
-		// The single X-Bus between sockets (32 GB/s/direction for
-		// GPU traffic per §II).
-		n.AddLink("sg:s0", "sg:s1", 32*gb, ns(250), 1)
-		places := make([]Place, ranks)
-		for r := range places {
-			places[r] = Place{Node: gName(r), Socket: r / 3, Host: fmt.Sprintf("sg:s%d", r/3)}
-		}
-		return n, places, nil
-	},
+	Topology: Topology{Explicit: summitGPUExplicit()},
 })
 
 func gName(i int) string { return fmt.Sprintf("sg:g%d", i) }
+
+// summitGPUExplicit wires the dumbbell — islands g0-g2 on socket 0 and
+// g3-g5 on socket 1, each GPU hubbed to its socket, one X-Bus between
+// sockets (32 GB/s/direction for GPU traffic per §II) — in exactly the
+// retired build func's order.
+func summitGPUExplicit() *Explicit {
+	var links []LinkSpec
+	place := Placement{Kind: PlacePerRank}
+	for s := 0; s < 2; s++ {
+		base := 3 * s
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < 3; j++ {
+				links = append(links, LinkSpec{
+					A: gName(base + i), B: gName(base + j),
+					GBs: 25, LatencyNs: 200, Channels: 2, Class: "nvlink",
+				})
+			}
+			// GPU to its island's CPU socket hub (NVLink2).
+			links = append(links, LinkSpec{
+				A: gName(base + i), B: fmt.Sprintf("sg:s%d", s),
+				GBs: 25, LatencyNs: 150, Channels: 2, Class: "nvlink-host",
+			})
+			place.Nodes = append(place.Nodes, gName(base+i))
+			place.Sockets = append(place.Sockets, s)
+			place.Hosts = append(place.Hosts, fmt.Sprintf("sg:s%d", s))
+		}
+	}
+	links = append(links, LinkSpec{
+		A: "sg:s0", B: "sg:s1", GBs: 32, LatencyNs: 250, Channels: 1, Class: "xbus",
+	})
+	return &Explicit{Links: links, Place: place}
+}

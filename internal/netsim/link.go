@@ -19,9 +19,10 @@ import (
 // resource with fixed bandwidth and propagation latency. A message
 // occupies the link for size/bandwidth, FIFO.
 type Link struct {
-	name string
-	bw   float64  // bytes per second
-	lat  sim.Time // propagation latency
+	name  string
+	class string   // topology link class ("" when unclassified)
+	bw    float64  // bytes per second
+	lat   sim.Time // propagation latency
 
 	freeAt   sim.Time // earliest time the next message may start serializing
 	busy     sim.Time // total occupied time (for utilization)
@@ -43,6 +44,10 @@ func NewLink(name string, bandwidth float64, latency sim.Time) *Link {
 
 // Name returns the link's diagnostic name.
 func (l *Link) Name() string { return l.name }
+
+// Class returns the topology link class this link was declared with
+// (e.g. "local", "global", "edge"; "" for unclassified links).
+func (l *Link) Class() string { return l.class }
 
 // Bandwidth returns the link bandwidth in bytes per second.
 func (l *Link) Bandwidth() float64 { return l.bw }
@@ -95,6 +100,7 @@ func (l *Link) FreeAt() sim.Time { return l.freeAt }
 func (l *Link) Stats() LinkStats {
 	return LinkStats{
 		Name:     l.name,
+		Class:    l.class,
 		BusyTime: l.busy,
 		Bytes:    l.bytes,
 		Messages: l.messages,
@@ -113,6 +119,7 @@ func (l *Link) Reset() {
 // LinkStats is a snapshot of a link's cumulative counters.
 type LinkStats struct {
 	Name     string
+	Class    string
 	BusyTime sim.Time
 	Bytes    int64
 	Messages int64

@@ -270,20 +270,31 @@ func TestLookaheadBound(t *testing.T) {
 	}
 	// Per-node bound: node a only sees its own 500 ns links, so its
 	// outgoing horizon is looser than the global bound.
-	if got := n.LookaheadFrom("a"); got != 500*sim.Nanosecond {
+	if got := n.MustLookaheadFrom("a"); got != 500*sim.Nanosecond {
 		t.Fatalf("LookaheadFrom(a) = %v, want 500ns", got)
 	}
-	if got := n.LookaheadFrom("b"); got != 100*sim.Nanosecond {
-		t.Fatalf("LookaheadFrom(b) = %v, want 100ns", got)
+	if got, err := n.LookaheadFrom("b"); err != nil || got != 100*sim.Nanosecond {
+		t.Fatalf("LookaheadFrom(b) = %v, %v, want 100ns", got, err)
 	}
 	n.AddNode("island")
-	if got := n.LookaheadFrom("island"); got != 0 {
-		t.Fatalf("LookaheadFrom(island) = %v, want 0", got)
+	if got, err := n.LookaheadFrom("island"); err != nil || got != 0 {
+		t.Fatalf("LookaheadFrom(island) = %v, %v, want 0", got, err)
+	}
+	// Unknown nodes are an error, not a panic: generated topologies
+	// feed arbitrary names here.
+	if _, err := n.LookaheadFrom("nope"); err == nil {
+		t.Fatal("LookaheadFrom on unknown node should error")
+	}
+	if _, err := n.PathTo("nope", "a"); err == nil {
+		t.Fatal("PathTo from unknown node should error")
+	}
+	if _, err := n.RouteTo("a", "nope"); err == nil {
+		t.Fatal("RouteTo to unknown node should error")
 	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("LookaheadFrom on unknown node should panic")
+			t.Fatal("MustLookaheadFrom on unknown node should panic")
 		}
 	}()
-	n.LookaheadFrom("nope")
+	n.MustLookaheadFrom("nope")
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"msgroofline/internal/sim"
 )
@@ -28,11 +29,28 @@ type Network struct {
 	nodes     []string
 	nodeIndex map[string]int
 	adj       map[string][]*channelGroup
-	paths     map[[2]string]*Path
+	// mu guards the lazily-populated paths and routes caches. Large
+	// generated fabrics resolve routes on first use from concurrently
+	// executing node-group engines, so resolution must be race-free;
+	// the resolved values are pure functions of the static topology,
+	// so lazy population never perturbs simulated timing.
+	mu     sync.RWMutex
+	paths  map[[2]string]*Path
+	routes map[[2]string]*Route
 	// gen counts topology mutations (AddLink); cached Paths record
 	// the generation they were resolved under so stale holders can be
 	// detected (see Path.Stale).
 	gen int
+	// routing selects the route-choice policy (minimal by default);
+	// detours lists the candidate intermediate nodes Valiant-style
+	// non-minimal routes may bounce through (see route.go).
+	routing Routing
+	detours []string
+	// minPicks / altPicks count adaptive route decisions (see
+	// RoutingStats). Mutated only under the deterministic transfer
+	// orderings (window barrier / owning engine), like link state.
+	minPicks int64
+	altPicks int64
 	// faults, when non-nil, perturbs transfers (see faults.go).
 	faults *faultState
 }
@@ -43,6 +61,7 @@ func New() *Network {
 		nodeIndex: make(map[string]int),
 		adj:       make(map[string][]*channelGroup),
 		paths:     make(map[[2]string]*Path),
+		routes:    make(map[[2]string]*Route),
 	}
 }
 
@@ -197,6 +216,17 @@ func (n *Network) HasNode(name string) bool {
 // (bytes/s) and propagation latency. Both endpoints are registered as
 // nodes if needed. Adding a link invalidates cached routes.
 func (n *Network) AddLink(a, b string, bandwidth float64, latency sim.Time, channels int) {
+	n.AddClassLink(a, b, "", bandwidth, latency, channels)
+}
+
+// AddClassLink is AddLink with a topology link class attached to every
+// created link (e.g. "local" / "global" on a dragonfly, "edge" /
+// "aggregation" / "core" on a fat-tree). Classes feed per-class
+// utilization stats (ClassStats) and routing diagnostics; they do not
+// affect routing or timing. Channel counts and link parameters are
+// programmer inputs here and must be validated upstream (generated
+// topology specs validate before building — see machine.Topology).
+func (n *Network) AddClassLink(a, b, class string, bandwidth float64, latency sim.Time, channels int) {
 	if channels < 1 {
 		panic(fmt.Sprintf("netsim: link %s-%s: channels must be >= 1, got %d", a, b, channels))
 	}
@@ -205,34 +235,53 @@ func (n *Network) AddLink(a, b string, bandwidth float64, latency sim.Time, chan
 	fwd := &channelGroup{to: b}
 	rev := &channelGroup{to: a}
 	for c := 0; c < channels; c++ {
-		fwd.links = append(fwd.links, NewLink(fmt.Sprintf("%s->%s#%d", a, b, c), bandwidth, latency))
-		rev.links = append(rev.links, NewLink(fmt.Sprintf("%s->%s#%d", b, a, c), bandwidth, latency))
+		fl := NewLink(fmt.Sprintf("%s->%s#%d", a, b, c), bandwidth, latency)
+		rl := NewLink(fmt.Sprintf("%s->%s#%d", b, a, c), bandwidth, latency)
+		fl.class, rl.class = class, class
+		fwd.links = append(fwd.links, fl)
+		rev.links = append(rev.links, rl)
 	}
 	n.adj[a] = append(n.adj[a], fwd)
 	n.adj[b] = append(n.adj[b], rev)
+	n.mu.Lock()
 	n.paths = make(map[[2]string]*Path)
+	n.routes = make(map[[2]string]*Route)
+	n.mu.Unlock()
 	n.gen++
 }
 
 // PathTo resolves (and caches) the shortest (fewest-hop) route from
-// src to dst. It panics on unknown nodes and returns an error for
-// disconnected pairs. The returned Path is shared: callers must treat
-// it as read-only, and may hold it for the lifetime of the topology to
-// bypass the cache probe entirely.
+// src to dst. Unknown nodes and disconnected pairs return errors. The
+// returned Path is shared: callers must treat it as read-only, and may
+// hold it for the lifetime of the topology to bypass the cache probe
+// entirely. Resolution is safe to call concurrently.
 func (n *Network) PathTo(src, dst string) (*Path, error) {
 	if !n.HasNode(src) {
-		panic(fmt.Sprintf("netsim: unknown node %q", src))
+		return nil, fmt.Errorf("netsim: unknown node %q", src)
 	}
 	if !n.HasNode(dst) {
-		panic(fmt.Sprintf("netsim: unknown node %q", dst))
+		return nil, fmt.Errorf("netsim: unknown node %q", dst)
 	}
 	key := [2]string{src, dst}
+	n.mu.RLock()
+	p, ok := n.paths[key]
+	n.mu.RUnlock()
+	if ok {
+		return p, nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.pathToLocked(key)
+}
+
+// pathToLocked resolves key under n.mu (write-locked).
+func (n *Network) pathToLocked(key [2]string) (*Path, error) {
 	if p, ok := n.paths[key]; ok {
 		return p, nil
 	}
 	p := &Path{net: n, gen: n.gen}
-	if src != dst {
-		groups, err := n.bfs(src, dst)
+	if key[0] != key[1] {
+		groups, err := n.bfs(key[0], key[1])
 		if err != nil {
 			return nil, err
 		}
@@ -386,11 +435,13 @@ func (n *Network) LookaheadBound() sim.Time {
 // channel groups leaving `node` — the per-link-class lookahead a
 // placement that confines the node's ranks to one shard could use
 // for that shard's outgoing horizon (tighter than the global
-// LookaheadBound on heterogeneous fabrics). It panics on unknown
-// nodes and returns 0 for a node with no outgoing links.
-func (n *Network) LookaheadFrom(node string) sim.Time {
+// LookaheadBound on heterogeneous fabrics). It returns an error on
+// unknown nodes — node names now come from generated topology specs,
+// not only hand-audited literals — and 0 for a node with no outgoing
+// links.
+func (n *Network) LookaheadFrom(node string) (sim.Time, error) {
 	if !n.HasNode(node) {
-		panic(fmt.Sprintf("netsim: unknown node %q", node))
+		return 0, fmt.Errorf("netsim: unknown node %q", node)
 	}
 	min := sim.Time(-1)
 	for _, g := range n.adj[node] {
@@ -401,12 +452,24 @@ func (n *Network) LookaheadFrom(node string) sim.Time {
 		}
 	}
 	if min < 0 {
-		return 0
+		return 0, nil
 	}
-	return min
+	return min, nil
 }
 
-// Reset clears reservation state and counters on every link.
+// MustLookaheadFrom is LookaheadFrom for callers whose node name is
+// known-good by construction (e.g. taken from Nodes()); it panics on
+// an unknown node.
+func (n *Network) MustLookaheadFrom(node string) sim.Time {
+	t, err := n.LookaheadFrom(node)
+	if err != nil {
+		panic(err.Error())
+	}
+	return t
+}
+
+// Reset clears reservation state and counters on every link, plus the
+// adaptive-routing pick counters.
 func (n *Network) Reset() {
 	for _, groups := range n.adj {
 		for _, g := range groups {
@@ -415,6 +478,7 @@ func (n *Network) Reset() {
 			}
 		}
 	}
+	n.minPicks, n.altPicks = 0, 0
 }
 
 // Stats returns cumulative counters for every link that carried at
@@ -431,6 +495,55 @@ func (n *Network) Stats() []LinkStats {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ClassStats is the per-link-class aggregate of link counters: how
+// much of the fabric's traffic each topology tier (intra-router /
+// local / global, edge / aggregation / core) carried.
+type ClassStats struct {
+	Class    string
+	Links    int // directed links in the class
+	Messages int64
+	Bytes    int64
+	BusyTime sim.Time
+}
+
+// MeanUtilization returns the class's mean per-link busy fraction over
+// [0, horizon].
+func (s ClassStats) MeanUtilization(horizon sim.Time) float64 {
+	if horizon <= 0 || s.Links == 0 {
+		return 0
+	}
+	return float64(s.BusyTime) / float64(horizon) / float64(s.Links)
+}
+
+// ClassStatsAll aggregates link counters by link class (including
+// links that carried no traffic, so per-class utilization has the
+// right denominator), sorted by class name. Unclassified links
+// aggregate under "".
+func (n *Network) ClassStatsAll() []ClassStats {
+	agg := map[string]*ClassStats{}
+	for _, node := range n.nodes {
+		for _, g := range n.adj[node] {
+			for _, l := range g.links {
+				c, ok := agg[l.class]
+				if !ok {
+					c = &ClassStats{Class: l.class}
+					agg[l.class] = c
+				}
+				c.Links++
+				c.Messages += l.messages
+				c.Bytes += l.bytes
+				c.BusyTime += l.busy
+			}
+		}
+	}
+	out := make([]ClassStats, 0, len(agg))
+	for _, c := range agg {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
 	return out
 }
 

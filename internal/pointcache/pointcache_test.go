@@ -42,6 +42,39 @@ func testConfig() *machine.Config {
 		MemBandwidth: 100e9,
 		MemLatency:   90 * sim.Nanosecond,
 		TableRow:     machine.TableRow{CPUs: "2x64", CPUInterconnect: "IF"},
+		// All three topology specs at once: semantically invalid (Build
+		// enforces exactly-one-of) but ideal for the walker, which must
+		// see every fingerprinted field of every spec kind.
+		Topology: machine.Topology{
+			Explicit: &machine.Explicit{
+				Links: []machine.LinkSpec{
+					{A: "t:s0", B: "t:s1", GBs: 32, LatencyNs: 150, Channels: 4, Class: "socket"},
+				},
+				Place: machine.Placement{
+					Kind:    machine.PlaceBlock,
+					Nodes:   []string{"t:s0", "t:s1"},
+					Sockets: []int{0, 1},
+					Hosts:   []string{"t:h", "t:h"},
+				},
+				Detours: []string{"t:s0"},
+			},
+			Dragonfly: &machine.Dragonfly{
+				Groups: 2, RoutersPerGroup: 2, NodesPerRouter: 1, GlobalLinksPerRouter: 1,
+				RanksPerNode: 1,
+				NodeGBs:      1, NodeLatencyNs: 1,
+				LocalGBs: 1, LocalLatencyNs: 1,
+				GlobalGBs: 1, GlobalLatencyNs: 1,
+				Prefix: "x",
+			},
+			FatTree: &machine.FatTree{
+				Radix: 4, Levels: 3, RanksPerHost: 1,
+				HostGBs: 1, HostLatencyNs: 1,
+				EdgeGBs: 1, EdgeLatencyNs: 1,
+				CoreGBs: 1, CoreLatencyNs: 1,
+				Prefix: "y",
+			},
+			Routing: machine.RoutingAdaptive,
+		},
 	}
 }
 
@@ -158,6 +191,17 @@ func perturbLeaves(t *testing.T, v reflect.Value, path string, check func(path s
 		v.SetFloat(old + 1)
 		check(path)
 		v.SetFloat(old)
+	case reflect.Slice:
+		for i := 0; i < v.Len(); i++ {
+			perturbLeaves(t, v.Index(i), fmt.Sprintf("%s[%d]", path, i), check)
+		}
+		// Length must be fingerprinted too: growing the slice by a
+		// zero element must change the key (two dragonfly placements
+		// differing only in node count must never collide).
+		old := v.Interface()
+		v.Set(reflect.Append(v, reflect.New(v.Type().Elem()).Elem()))
+		check(path + " (element appended)")
+		v.Set(reflect.ValueOf(old))
 	case reflect.Func:
 		// not fingerprintable; covered by the schema salt policy
 	default:

@@ -118,11 +118,20 @@ func nodeGroups(inst *machine.Instance, ranks int) ([]int, error) {
 	return groupOf, nil
 }
 
+// prewarmSigLimit bounds the node-signature count prewarmPaths will
+// warm all-pairs: beyond it the quadratic BFS sweep dominates world
+// construction on generated fabrics (a 1K-node dragonfly is ~10^6
+// resolutions), so big worlds rely on the lazy, mutex-guarded route
+// cache instead. Laziness never changes simulated output: route
+// resolution is a pure function of the static topology.
+const prewarmSigLimit = 64
+
 // prewarmPaths resolves every fabric route the world can use — direct
 // node-to-node plus host-staged legs — so netsim's lazy route cache is
-// fully populated before any window runs and stays read-only (and
-// data-race-free) under parallel windows. Unreachable pairs are left
-// for use-time panics, exactly as before.
+// fully populated before any window runs on paper-scale machines.
+// Unreachable pairs are left for use-time panics, exactly as before.
+// Worlds over prewarmSigLimit distinct nodes skip the sweep and
+// resolve routes on demand under the network's route-cache lock.
 func prewarmPaths(inst *machine.Instance, ranks int) {
 	type sig struct{ node, host string }
 	seen := map[sig]bool{}
@@ -134,9 +143,12 @@ func prewarmPaths(inst *machine.Instance, ranks int) {
 			sigs = append(sigs, s)
 		}
 	}
+	if len(sigs) > prewarmSigLimit {
+		return
+	}
 	warm := func(a, b string) {
 		if a != b {
-			inst.Net.PathTo(a, b) //nolint:errcheck // warming only
+			inst.Net.RouteTo(a, b) //nolint:errcheck // warming only
 		}
 	}
 	for _, a := range sigs {
@@ -248,7 +260,10 @@ type Endpoint struct {
 type wirePlan struct {
 	sameNode    bool
 	crossSocket bool
-	direct      *netsim.Path   // node-to-node route (nil when sameNode)
+	// direct is the node-to-node route (nil when sameNode): the
+	// minimal path plus, under adaptive routing, its precomputed
+	// non-minimal alternatives.
+	direct      *netsim.Route
 	staged      []*netsim.Path // host-staged legs, built on first staged send
 	stagedBuilt bool
 }
@@ -268,11 +283,11 @@ func (ep *Endpoint) planTo(dst int) *wirePlan {
 		crossSocket: inst.CrossSocket(ep.rank, dst),
 	}
 	if !pl.sameNode {
-		p, err := inst.Net.PathTo(inst.Places[ep.rank].Node, inst.Places[dst].Node)
+		r, err := inst.Net.RouteTo(inst.Places[ep.rank].Node, inst.Places[dst].Node)
 		if err != nil {
 			panic(fmt.Sprintf("runtime: %v", err))
 		}
-		pl.direct = p
+		pl.direct = r
 	}
 	ep.plans[dst] = pl
 	return pl

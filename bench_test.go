@@ -500,13 +500,40 @@ type topoScaleRecord struct {
 	BusyWall     float64 `json:"busy_wall"`
 }
 
+// windowEngineRecord is one "window-engine/v1" measurement: coupled
+// window-loop throughput at one worker count, with the barrier's share
+// of the attributed loop wall (sim.CoupledEngine.PhaseWall). Two
+// workloads are recorded per label: the prepared-closure 100K-rank
+// PHOLD token storm (simbench.CoupledWindows, pure engine cost) and
+// the 10240-rank dragonfly one-sided stencil (full stack). Events/sec
+// across worker counts shows the speedup on multi-core runners;
+// busy/wall is the honest efficiency figure everywhere.
+type windowEngineRecord struct {
+	Record       string  `json:"record"` // always "window-engine/v1"
+	Label        string  `json:"label"`
+	Date         string  `json:"date"`
+	Workload     string  `json:"workload"`
+	Ranks        int     `json:"ranks"`
+	Groups       int     `json:"groups"`
+	Workers      int     `json:"workers"`
+	Cores        int     `json:"cores"`
+	Windows      uint64  `json:"windows"`
+	Dispatches   uint64  `json:"dispatches"`
+	Events       int64   `json:"events"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	BusyWall     float64 `json:"busy_wall"`
+	BarrierShare float64 `json:"barrier_share"`
+}
+
 type simPerfFile struct {
-	Schema    string              `json:"schema"`
-	Records   []simPerfRecord     `json:"records"`
-	SuiteWall []suiteWallRecord   `json:"suite_wall,omitempty"`
-	Sharded   []shardedPerfRecord `json:"sharded,omitempty"`
-	Coupled   []coupledPerfRecord `json:"coupled,omitempty"`
-	TopoScale []topoScaleRecord   `json:"topo_scale,omitempty"`
+	Schema       string               `json:"schema"`
+	Records      []simPerfRecord      `json:"records"`
+	SuiteWall    []suiteWallRecord    `json:"suite_wall,omitempty"`
+	Sharded      []shardedPerfRecord  `json:"sharded,omitempty"`
+	Coupled      []coupledPerfRecord  `json:"coupled,omitempty"`
+	TopoScale    []topoScaleRecord    `json:"topo_scale,omitempty"`
+	WindowEngine []windowEngineRecord `json:"window_engine,omitempty"`
 }
 
 const simPerfPath = "BENCH_sim.json"
@@ -833,4 +860,126 @@ func TestRecordCoupledPerf(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("appended %d sharded-coupled records to %s", len(recs), simPerfPath)
+}
+
+// TestRecordWindowEngine appends window-engine/v1 records to
+// BENCH_sim.json:
+//
+//	BENCH_WINDOW_RECORD=<label> go test -run TestRecordWindowEngine -timeout 60m .
+//
+// It runs the two window-loop reference workloads at 1, 2, and 4
+// workers each: the 100K-rank coupled PHOLD token storm
+// (simbench.CoupledWindows — pure engine cost, no transport stack) and
+// the 10240-rank dragonfly one-sided stencil (the full stack over
+// 1024 node groups). Besides events/sec and busy/wall it records the
+// barrier's share of the attributed loop wall (PhaseWall), the number
+// the merge-based barrier and active-group dispatch are meant to keep
+// flat as worker count grows. Simulated output is identical at every
+// worker count; only the wall-clock numbers move.
+func TestRecordWindowEngine(t *testing.T) {
+	label := os.Getenv("BENCH_WINDOW_RECORD")
+	if label == "" {
+		t.Skip("set BENCH_WINDOW_RECORD=<label> to append window-engine throughput to BENCH_sim.json")
+	}
+	date := time.Now().UTC().Format("2006-01-02")
+	var recs []windowEngineRecord
+
+	// Leg 1: 100K-rank coupled PHOLD (one rank per node group).
+	const (
+		pholdRanks  = 100000
+		pholdEvents = 2000000
+	)
+	for _, workers := range []int{1, 2, 4} {
+		ce, err := simbench.NewCoupledWindows(pholdRanks, workers, pholdEvents, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		if err := ce.Run(); err != nil {
+			t.Fatal(err)
+		}
+		wall := time.Since(start)
+		exec, barrier, scan := ce.PhaseWall()
+		phase := exec + barrier + scan
+		executed := int64(ce.Executed())
+		nsPerEvent := float64(wall.Nanoseconds()) / float64(executed)
+		r := windowEngineRecord{
+			Record: "window-engine/v1", Label: label, Date: date,
+			Workload: "phold/coupled/100k",
+			Ranks:    pholdRanks, Groups: ce.Groups(), Workers: workers,
+			Cores:        runtime.NumCPU(),
+			Windows:      ce.Windows(),
+			Dispatches:   ce.Dispatches(),
+			Events:       executed,
+			NsPerEvent:   nsPerEvent,
+			EventsPerSec: 1e9 / nsPerEvent,
+			BusyWall:     ce.BusyWall(wall),
+			BarrierShare: float64(barrier) / float64(phase),
+		}
+		recs = append(recs, r)
+		t.Logf("phold workers=%d: %d events over %d windows (%d dispatches), %.1f ns/event, %.2fM events/sec, busy/wall %.2f, barrier share %.3f",
+			workers, r.Events, r.Windows, r.Dispatches, nsPerEvent, r.EventsPerSec/1e6, r.BusyWall, r.BarrierShare)
+	}
+
+	// Leg 2: 10240-rank dragonfly stencil (full transport stack).
+	cfg, err := machine.Get("dragonfly-10k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		before := simruntime.Usage()
+		start := time.Now()
+		if _, err := stencil.Run(stencil.Config{
+			Machine: cfg, Transport: comm.OneSided,
+			Grid: 1280, Iters: 2, PX: 128, PY: 80, Shards: workers,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		wall := time.Since(start)
+		after := simruntime.Usage()
+		var events int64
+		for _, n := range after.Events {
+			events += n
+		}
+		for _, n := range before.Events {
+			events -= n
+		}
+		busy := after.Busy - before.Busy
+		barrier := after.BarrierWall - before.BarrierWall
+		phase := (after.ExecWall - before.ExecWall) + barrier +
+			(after.ScanWall - before.ScanWall)
+		nsPerEvent := float64(wall.Nanoseconds()) / float64(events)
+		r := windowEngineRecord{
+			Record: "window-engine/v1", Label: label, Date: date,
+			Workload: "stencil/one-sided/dragonfly-10k",
+			Ranks:    10240, Groups: len(after.Events), Workers: workers,
+			Cores:        runtime.NumCPU(),
+			Windows:      after.Windows - before.Windows,
+			Events:       events,
+			NsPerEvent:   nsPerEvent,
+			EventsPerSec: 1e9 / nsPerEvent,
+			BusyWall:     float64(busy) / float64(wall),
+			BarrierShare: float64(barrier) / float64(phase),
+		}
+		recs = append(recs, r)
+		t.Logf("stencil workers=%d: %d events over %d windows, %.1f ns/event, %.2fM events/sec, busy/wall %.2f, barrier share %.3f",
+			workers, r.Events, r.Windows, nsPerEvent, r.EventsPerSec/1e6, r.BusyWall, r.BarrierShare)
+	}
+
+	var f simPerfFile
+	if data, err := os.ReadFile(simPerfPath); err == nil && len(data) > 0 {
+		if err := json.Unmarshal(data, &f); err != nil {
+			t.Fatalf("parse %s: %v", simPerfPath, err)
+		}
+	}
+	f.Schema = "sim-engine-perf/v1"
+	f.WindowEngine = append(f.WindowEngine, recs...)
+	out, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(simPerfPath, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("appended %d window-engine records to %s", len(recs), simPerfPath)
 }

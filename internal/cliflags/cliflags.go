@@ -25,6 +25,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"msgroofline/internal/pointcache"
 	simruntime "msgroofline/internal/runtime"
@@ -147,8 +148,11 @@ func (c *Common) ReportCache(cache *pointcache.Cache) {
 // ReportShards prints the shared one-line shard-utilization summary
 // to stderr: how many worlds ran, how many of them decomposed into
 // multiple node groups, the conservative windows executed, the
-// executed events summed by node-group index, and the largest window
-// worker parallelism used. The CI shard-determinism job greps this
+// per-phase wall split of the window loops (group execution vs
+// barrier deferred-op application vs window-bound maintenance — the
+// engine-layer start of a Breaking-Band-style cost attribution), the
+// largest window worker parallelism used, and the executed events
+// summed by node-group index. The CI shard-determinism job greps this
 // line to assert the grouped path really ran — a silent fallback to
 // one sequential engine would show grouped=0.
 func (c *Common) ReportShards(label string) {
@@ -156,6 +160,8 @@ func (c *Common) ReportShards(label string) {
 	if u.Worlds == 0 {
 		return
 	}
-	fmt.Fprintf(os.Stderr, "%s: worlds=%d grouped=%d windows=%d workers<=%d events/group=%v\n",
-		label, u.Worlds, u.Grouped, u.Windows, u.MaxWorkers, u.Events)
+	fmt.Fprintf(os.Stderr, "%s: worlds=%d grouped=%d windows=%d exec=%v barrier=%v scan=%v workers<=%d events/group=%v\n",
+		label, u.Worlds, u.Grouped, u.Windows,
+		u.ExecWall.Round(time.Millisecond), u.BarrierWall.Round(time.Millisecond),
+		u.ScanWall.Round(time.Millisecond), u.MaxWorkers, u.Events)
 }

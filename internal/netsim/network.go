@@ -25,18 +25,33 @@ type channelGroup struct {
 // so steady-state sends do a single map probe and no allocation.
 // Callers on hot paths can hold the *Path themselves (see PathTo) and
 // skip even that probe.
+//
+// The topology itself (nodes, links, adjacency) is immutable once
+// construction finishes — generators build the whole fabric before the
+// first rank runs — and AddLink during a run has never been supported
+// (it already mutated the adjacency without synchronization). That
+// contract lets route resolution read the graph without any lock; only
+// the path/route caches need synchronization, and those are sharded
+// (cacheShards ways by pair hash) so parallel window workers resolving
+// distinct pairs past the prewarm limit no longer serialize on one
+// mutex.
 type Network struct {
 	nodes     []string
 	nodeIndex map[string]int
 	adj       map[string][]*channelGroup
-	// mu guards the lazily-populated paths and routes caches. Large
-	// generated fabrics resolve routes on first use from concurrently
-	// executing node-group engines, so resolution must be race-free;
-	// the resolved values are pure functions of the static topology,
-	// so lazy population never perturbs simulated timing.
-	mu     sync.RWMutex
-	paths  map[[2]string]*Path
-	routes map[[2]string]*Route
+	// adjx mirrors adj with dense node indices so BFS runs over int32
+	// slices instead of string-keyed maps (the map-based walk dominated
+	// first-touch route resolution on 1K-node fabrics). Entry order per
+	// node matches adj exactly — BFS tie-breaking is unchanged.
+	adjx [][]xgroup
+	// cache holds the lazily-populated path and route caches, sharded
+	// by (src, dst) hash. Large generated fabrics resolve routes on
+	// first use from concurrently executing node-group engines, so
+	// resolution must be race-free; the resolved values are pure
+	// functions of the static topology, so neither lazy population nor
+	// the resolve-outside-the-lock build order perturbs simulated
+	// timing.
+	cache [cacheShards]cacheShard
 	// gen counts topology mutations (AddLink); cached Paths record
 	// the generation they were resolved under so stale holders can be
 	// detected (see Path.Stale).
@@ -55,14 +70,51 @@ type Network struct {
 	faults *faultState
 }
 
+// xgroup is one outgoing edge of the index-based adjacency: the dense
+// index of the neighbour plus the channel group reaching it.
+type xgroup struct {
+	to int32
+	g  *channelGroup
+}
+
+// cacheShards is the path/route cache shard count (power of two). 16
+// shards keep parallel window workers from serializing on resolution
+// while costing four words of mutex state per shard.
+const cacheShards = 16
+
+// cacheShard is one lock-striped slice of the resolution caches.
+type cacheShard struct {
+	mu     sync.RWMutex
+	paths  map[[2]string]*Path
+	routes map[[2]string]*Route
+}
+
+// shardFor hashes a node pair onto its cache shard (FNV-1a over both
+// names; any stable hash works — the caches are invisible to simulated
+// state).
+func shardFor(src, dst string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(src); i++ {
+		h = (h ^ uint32(src[i])) * 16777619
+	}
+	h = (h ^ 0xff) * 16777619 // separator so ("ab","c") != ("a","bc")
+	for i := 0; i < len(dst); i++ {
+		h = (h ^ uint32(dst[i])) * 16777619
+	}
+	return h & (cacheShards - 1)
+}
+
 // New returns an empty network.
 func New() *Network {
-	return &Network{
+	n := &Network{
 		nodeIndex: make(map[string]int),
 		adj:       make(map[string][]*channelGroup),
-		paths:     make(map[[2]string]*Path),
-		routes:    make(map[[2]string]*Route),
 	}
+	for i := range n.cache {
+		n.cache[i].paths = make(map[[2]string]*Path)
+		n.cache[i].routes = make(map[[2]string]*Route)
+	}
+	return n
 }
 
 // Path is a resolved route between two nodes: the channel groups along
@@ -196,6 +248,7 @@ func (n *Network) AddNode(name string) {
 	}
 	n.nodeIndex[name] = len(n.nodes)
 	n.nodes = append(n.nodes, name)
+	n.adjx = append(n.adjx, nil)
 }
 
 // Nodes returns all node names in insertion order.
@@ -243,10 +296,16 @@ func (n *Network) AddClassLink(a, b, class string, bandwidth float64, latency si
 	}
 	n.adj[a] = append(n.adj[a], fwd)
 	n.adj[b] = append(n.adj[b], rev)
-	n.mu.Lock()
-	n.paths = make(map[[2]string]*Path)
-	n.routes = make(map[[2]string]*Route)
-	n.mu.Unlock()
+	ai, bi := n.nodeIndex[a], n.nodeIndex[b]
+	n.adjx[ai] = append(n.adjx[ai], xgroup{to: int32(bi), g: fwd})
+	n.adjx[bi] = append(n.adjx[bi], xgroup{to: int32(ai), g: rev})
+	for i := range n.cache {
+		sh := &n.cache[i]
+		sh.mu.Lock()
+		sh.paths = make(map[[2]string]*Path)
+		sh.routes = make(map[[2]string]*Route)
+		sh.mu.Unlock()
+	}
 	n.gen++
 }
 
@@ -254,7 +313,11 @@ func (n *Network) AddClassLink(a, b, class string, bandwidth float64, latency si
 // src to dst. Unknown nodes and disconnected pairs return errors. The
 // returned Path is shared: callers must treat it as read-only, and may
 // hold it for the lifetime of the topology to bypass the cache probe
-// entirely. Resolution is safe to call concurrently.
+// entirely. Resolution is safe to call concurrently: the BFS reads
+// only the immutable topology, so it runs without any lock, and the
+// double-checked shard insert guarantees every caller sees the same
+// canonical *Path for a pair (racing resolvers build identical values;
+// the insert loser adopts the winner's).
 func (n *Network) PathTo(src, dst string) (*Path, error) {
 	if !n.HasNode(src) {
 		return nil, fmt.Errorf("netsim: unknown node %q", src)
@@ -263,22 +326,19 @@ func (n *Network) PathTo(src, dst string) (*Path, error) {
 		return nil, fmt.Errorf("netsim: unknown node %q", dst)
 	}
 	key := [2]string{src, dst}
-	n.mu.RLock()
-	p, ok := n.paths[key]
-	n.mu.RUnlock()
+	sh := &n.cache[shardFor(src, dst)]
+	sh.mu.RLock()
+	p, ok := sh.paths[key]
+	sh.mu.RUnlock()
 	if ok {
 		return p, nil
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.pathToLocked(key)
+	return n.resolvePath(sh, key)
 }
 
-// pathToLocked resolves key under n.mu (write-locked).
-func (n *Network) pathToLocked(key [2]string) (*Path, error) {
-	if p, ok := n.paths[key]; ok {
-		return p, nil
-	}
+// resolvePath builds the path for key outside any lock, then installs
+// it in the shard under a double-check.
+func (n *Network) resolvePath(sh *cacheShard, key [2]string) (*Path, error) {
 	p := &Path{net: n, gen: n.gen}
 	if key[0] != key[1] {
 		groups, err := n.bfs(key[0], key[1])
@@ -288,41 +348,50 @@ func (n *Network) pathToLocked(key [2]string) (*Path, error) {
 		p.groups = groups
 	}
 	p.metrics()
-	n.paths[key] = p
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if q, ok := sh.paths[key]; ok {
+		return q, nil // lost a resolve race; the winner is canonical
+	}
+	sh.paths[key] = p
 	return p, nil
 }
 
 // bfs finds the shortest route, remembering the group used to reach
-// each node.
+// each node. It walks the index-based adjacency with flat predecessor
+// slices — first-seen marking over the same per-node edge order as the
+// historical map-based walk, so every tie breaks identically.
 func (n *Network) bfs(src, dst string) ([]*channelGroup, error) {
-	type hop struct {
-		prev  string
-		group *channelGroup
+	si := int32(n.nodeIndex[src])
+	di := int32(n.nodeIndex[dst])
+	prev := make([]int32, len(n.nodes))
+	for i := range prev {
+		prev[i] = -1
 	}
-	seen := map[string]hop{src: {}}
-	queue := []string{src}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if cur == dst {
+	via := make([]*channelGroup, len(n.nodes))
+	queue := make([]int32, 0, len(n.nodes))
+	prev[si] = si // self-predecessor marks the root visited
+	queue = append(queue, si)
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi]
+		if cur == di {
 			break
 		}
-		for _, g := range n.adj[cur] {
-			if _, ok := seen[g.to]; ok {
+		for _, x := range n.adjx[cur] {
+			if prev[x.to] != -1 {
 				continue
 			}
-			seen[g.to] = hop{prev: cur, group: g}
-			queue = append(queue, g.to)
+			prev[x.to] = cur
+			via[x.to] = x.g
+			queue = append(queue, x.to)
 		}
 	}
-	if _, ok := seen[dst]; !ok {
+	if prev[di] == -1 {
 		return nil, fmt.Errorf("netsim: no route from %q to %q", src, dst)
 	}
 	var rev []*channelGroup
-	for cur := dst; cur != src; {
-		h := seen[cur]
-		rev = append(rev, h.group)
-		cur = h.prev
+	for cur := di; cur != si; cur = prev[cur] {
+		rev = append(rev, via[cur])
 	}
 	p := make([]*channelGroup, len(rev))
 	for i := range rev {

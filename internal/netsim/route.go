@@ -68,7 +68,11 @@ type Route struct {
 // RouteTo resolves (and caches) the Route from src to dst under the
 // network's routing policy. Under RouteMinimal (or with no registered
 // detours) the Route degenerates to the minimal Path and behaves
-// byte-for-byte identically to it. Safe to call concurrently.
+// byte-for-byte identically to it. Safe to call concurrently: the
+// route is composed from canonical cached paths without holding any
+// lock (path resolution synchronizes per path-cache shard on its own),
+// then installed in its route shard under a double-check, so parallel
+// workers resolving distinct pairs never serialize on a shared mutex.
 func (n *Network) RouteTo(src, dst string) (*Route, error) {
 	if !n.HasNode(src) {
 		return nil, fmt.Errorf("netsim: unknown node %q", src)
@@ -77,18 +81,14 @@ func (n *Network) RouteTo(src, dst string) (*Route, error) {
 		return nil, fmt.Errorf("netsim: unknown node %q", dst)
 	}
 	key := [2]string{src, dst}
-	n.mu.RLock()
-	r, ok := n.routes[key]
-	n.mu.RUnlock()
+	sh := &n.cache[shardFor(src, dst)]
+	sh.mu.RLock()
+	r, ok := sh.routes[key]
+	sh.mu.RUnlock()
 	if ok {
 		return r, nil
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if r, ok := n.routes[key]; ok {
-		return r, nil
-	}
-	min, err := n.pathToLocked(key)
+	min, err := n.PathTo(src, dst)
 	if err != nil {
 		return nil, err
 	}
@@ -96,7 +96,12 @@ func (n *Network) RouteTo(src, dst string) (*Route, error) {
 	if n.routing == RouteAdaptive && src != dst {
 		r.alts = n.buildAlts(src, dst, min)
 	}
-	n.routes[key] = r
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if q, ok := sh.routes[key]; ok {
+		return q, nil // lost a resolve race; the winner is canonical
+	}
+	sh.routes[key] = r
 	return r, nil
 }
 
@@ -106,7 +111,9 @@ func (n *Network) RouteTo(src, dst string) (*Route, error) {
 // deterministic). Detours that coincide with an endpoint, are
 // unreachable, or degenerate to the minimal hop count are skipped —
 // a "detour" no longer than the minimal path is the minimal path's
-// job. Caller holds n.mu.
+// job. The via legs resolve through the sharded path cache (PathTo),
+// so building alternatives takes no lock of its own and detour legs
+// shared between routes are BFS'd once.
 func (n *Network) buildAlts(src, dst string, min *Path) []*Path {
 	type cand struct {
 		p    *Path
@@ -117,11 +124,11 @@ func (n *Network) buildAlts(src, dst string, min *Path) []*Path {
 		if via == src || via == dst || !n.HasNode(via) {
 			continue
 		}
-		a, err := n.pathToLocked([2]string{src, via})
+		a, err := n.PathTo(src, via)
 		if err != nil {
 			continue
 		}
-		b, err := n.pathToLocked([2]string{via, dst})
+		b, err := n.PathTo(via, dst)
 		if err != nil {
 			continue
 		}

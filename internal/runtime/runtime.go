@@ -121,8 +121,9 @@ func nodeGroups(inst *machine.Instance, ranks int) ([]int, error) {
 // prewarmSigLimit bounds the node-signature count prewarmPaths will
 // warm all-pairs: beyond it the quadratic BFS sweep dominates world
 // construction on generated fabrics (a 1K-node dragonfly is ~10^6
-// resolutions), so big worlds rely on the lazy, mutex-guarded route
-// cache instead. Laziness never changes simulated output: route
+// resolutions), so big worlds rely on the lazy, sharded route cache
+// instead (16 lock shards keyed by endpoint-pair hash; see
+// netsim.cacheShards). Laziness never changes simulated output: route
 // resolution is a pure function of the static topology.
 const prewarmSigLimit = 64
 
@@ -131,7 +132,9 @@ const prewarmSigLimit = 64
 // fully populated before any window runs on paper-scale machines.
 // Unreachable pairs are left for use-time panics, exactly as before.
 // Worlds over prewarmSigLimit distinct nodes skip the sweep and
-// resolve routes on demand under the network's route-cache lock.
+// resolve routes on demand under the network's per-shard cache locks
+// (path/route construction itself runs lock-free on the immutable
+// topology, so concurrent window workers only contend on insertion).
 func prewarmPaths(inst *machine.Instance, ranks int) {
 	type sig struct{ node, host string }
 	seen := map[sig]bool{}

@@ -34,6 +34,15 @@ type UsageSummary struct {
 	// by a command's wall time it gives the parallel-efficiency
 	// figure (see sim.CoupledEngine.BusyWall).
 	Busy time.Duration
+	// ExecWall, BarrierWall and ScanWall attribute the window loops'
+	// wall time to their three phases — group execution, barrier
+	// deferred-op application, and window-bound maintenance (min-tree
+	// reads plus active-set collection) — the engine-layer start of a
+	// Breaking-Band-style cost breakdown (see
+	// sim.CoupledEngine.PhaseWall).
+	ExecWall    time.Duration
+	BarrierWall time.Duration
+	ScanWall    time.Duration
 }
 
 var (
@@ -61,6 +70,10 @@ func noteUsage(w *World) {
 	if w.eng.Workers() > usage.MaxWorkers {
 		usage.MaxWorkers = w.eng.Workers()
 	}
+	exec, barrier, scan := w.eng.PhaseWall()
+	usage.ExecWall += exec
+	usage.BarrierWall += barrier
+	usage.ScanWall += scan
 }
 
 // Usage returns a copy of the process-wide shard-utilization tally.

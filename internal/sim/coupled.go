@@ -1,6 +1,7 @@
 package sim
 
-// Coupled conservative-lookahead engine (DESIGN.md §11).
+// Coupled conservative-lookahead engine (DESIGN.md §11, scaling
+// internals §14).
 //
 // CoupledEngine runs the process-coupled stacks (internal/runtime and
 // the mpi/shmem/comm layers above it) under the same YAWNS-style
@@ -10,8 +11,28 @@ package sim
 // by fabric node (same node ⟺ stateless shared-memory delivery), each
 // group owns a private Engine, and every window executes each group's
 // events in [minNext, minNext+lookahead) — in parallel across up to
-// `workers` goroutines — before a single-threaded barrier applies the
-// window's deferred cross-group operations.
+// `workers` persistent pool workers — before a single-threaded
+// barrier applies the window's deferred cross-group operations.
+//
+// The window loop is built to scale to thousands of mostly-idle
+// groups (a 10K-rank dragonfly decomposes into 1024 node groups, of
+// which only a few dozen are typically eligible per window):
+//
+//   - a persistent worker pool (startPool) replaces the historical
+//     goroutine-per-group-per-window spawns: long-lived workers pull
+//     group indices from an atomic cursor over the window's active
+//     set, so a window costs O(workers) channel operations however
+//     many groups exist;
+//   - active-group dispatch: only groups whose next event beats the
+//     window bound are dispatched; idle groups skip the dispatch, the
+//     clock reads, and the deferred-op scan entirely;
+//   - an incremental 4-ary tournament tree (mintree.go) over per-group
+//     NextAt values replaces the O(G) min scan per window — only
+//     groups that executed or received barrier ops re-publish;
+//   - the barrier is a k-way merge over per-group deferred-op runs
+//     that the (parallel) workers pre-sorted, instead of a full
+//     single-threaded sort of the concatenated batch, with all run
+//     and merge storage pooled across windows.
 //
 // Cross-group effects never mutate a peer group's state mid-window.
 // They are expressed one of two ways:
@@ -40,7 +61,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -62,22 +83,54 @@ type CoupledEngine struct {
 	workers   int
 
 	counter []uint64       // per-rank deferred-op stream counters
-	ops     [][]deferredOp // per-group deferred ops this window
+	ops     [][]deferredOp // per-group deferred ops this window (front buffer)
+	opsBack [][]deferredOp // per-group back buffer, swapped in by takeRun
 	gerr    []error        // first group-confined error (Defer/At misuse)
 	mcap    int
 	maxEv   uint64
 
-	windows uint64
-	busy    []time.Duration
+	windows    uint64
+	dispatches uint64 // total group-window dispatches (sum of active-set sizes)
+	busy       []time.Duration
 	// loopBusy is the whole-loop busy time of an inline (workers <= 1)
 	// run, measured once instead of per group per window; GroupStats
 	// and BusyWall fold it back in, attributed by executed events.
 	loopBusy time.Duration
-	batch    []deferredOp // barrier scratch, reused across windows
-	werrs    []error      // parallel-window scratch, reused across windows
-	wpanics  []any
-	wsem     chan struct{}
-	started  bool
+	// Per-phase wall attribution of the window loop (PhaseWall):
+	// group execution, barrier deferred-op application, and
+	// min-tracker maintenance (bound computation + active-set
+	// collection + horizon refresh).
+	execWall    time.Duration
+	barrierWall time.Duration
+	scanWall    time.Duration
+
+	tree   minTree // per-group NextAt horizons
+	active []int32 // groups dispatched in the current window, ascending
+
+	// Barrier state. inBarrier is true only while the single-threaded
+	// merge executes deferred ops; At uses it to publish new horizons
+	// incrementally and Defer to record follow-up candidates (bops).
+	inBarrier bool
+	bops      []int32
+	bscratch  []int32
+
+	// Merge scratch, reused across windows.
+	runs     [][]deferredOp
+	mergePos []int32
+	mergeHp  []mergeEnt
+
+	// Persistent worker pool (workers > 1). w1 and active are
+	// published before the start tokens are sent and read back after
+	// the done tokens arrive, so the channel handshake orders every
+	// access. cursor hands out indices into active.
+	w1      Time
+	cursor  atomic.Int64
+	wstart  []chan struct{}
+	wdone   chan struct{}
+	werrs   []error
+	wpanics []any
+
+	started bool
 }
 
 // NewCoupled builds a coupled engine for ranks placed into node
@@ -119,6 +172,7 @@ func NewCoupled(groupOf []int, lookahead Time, workers int) (*CoupledEngine, err
 		workers:   workers,
 		counter:   make([]uint64, len(groupOf)),
 		ops:       make([][]deferredOp, groups),
+		opsBack:   make([][]deferredOp, groups),
 		gerr:      make([]error, groups),
 		mcap:      DefaultMailboxCap,
 		busy:      make([]time.Duration, groups),
@@ -209,6 +263,11 @@ func (ce *CoupledEngine) Defer(rank int, at Time, run func()) {
 		}
 		return
 	}
+	if ce.inBarrier {
+		// A barrier-emitted follow-up: record the group so the next
+		// merge round can find its run without scanning all groups.
+		ce.bops = append(ce.bops, g)
+	}
 	ce.ops[g] = append(ce.ops[g], deferredOp{at: at, key: uint64(rank)<<counterBits | c, run: run})
 }
 
@@ -230,7 +289,19 @@ func (ce *CoupledEngine) At(rank int, t Time, fn func()) {
 	if t < sub.Now() {
 		t = sub.Now()
 	}
-	sub.At(t, fn)
+	ev := sub.At(t, fn)
+	if ce.inBarrier {
+		// Barrier delivery may re-awaken an idle group (or move an
+		// active group's horizon earlier): publish incrementally so
+		// the next window's bound sees it without a group scan. The
+		// event's own time is used — perturbation jitter may have
+		// moved it. Window-time At calls target the caller's group,
+		// which re-publishes wholesale after the window, so only the
+		// barrier needs this.
+		if at := ev.At(); at < ce.tree.get(int(g)) {
+			ce.tree.update(int(g), at)
+		}
+	}
 }
 
 // Elapsed returns the latest executed-event time across all groups
@@ -257,6 +328,23 @@ func (ce *CoupledEngine) Executed() uint64 {
 // Windows returns how many conservative windows Run executed (1 for a
 // delegated one-group run).
 func (ce *CoupledEngine) Windows() uint64 { return ce.windows }
+
+// Dispatches returns the total number of group-window dispatches (the
+// sum over windows of each window's active-group count). With G
+// groups, Dispatches << Windows×G is the active-group filter working:
+// idle groups are never touched. A delegated one-group run reports 1.
+func (ce *CoupledEngine) Dispatches() uint64 { return ce.dispatches }
+
+// PhaseWall returns the wall-clock time the window loop spent in its
+// three phases: executing group events (including each group's
+// deferred-run pre-sort), applying deferred ops at barriers (the
+// k-way merge), and maintaining the window bound (min-tracker reads,
+// active-set collection, horizon refresh). The split is the
+// engine-layer start of a Breaking-Band-style cost attribution; it is
+// wall-clock metadata and never feeds back into simulated state.
+func (ce *CoupledEngine) PhaseWall() (exec, barrier, scan time.Duration) {
+	return ce.execWall, ce.barrierWall, ce.scanWall
+}
 
 // Digest folds every group engine's event-order digest in group order
 // into one summary of the full execution. Group structure is
@@ -327,15 +415,29 @@ func (ce *CoupledEngine) Run() error {
 		// One group: the sequential engine is exact; no windows, no
 		// barriers, native deadlock reporting.
 		ce.windows = 1
+		ce.dispatches = 1
 		t0 := time.Now()
 		err := ce.subs[0].Run()
 		ce.busy[0] += time.Since(t0)
+		ce.execWall += ce.busy[0]
 		if err == nil {
 			err = ce.firstErr()
 		}
 		return err
 	}
-	if ce.workers <= 1 {
+	// Seed the horizon tree from the post-spawn queues; from here on
+	// it is maintained incrementally (post-window refresh of dispatched
+	// groups, barrier At publications).
+	ce.tree.init(len(ce.subs))
+	for g, sub := range ce.subs {
+		if at, ok := sub.NextAt(); ok {
+			ce.tree.update(g, at)
+		}
+	}
+	if ce.workers > 1 {
+		ce.startPool()
+		defer ce.stopPool()
+	} else {
 		// Inline windows run on this goroutine back to back: one
 		// whole-loop measurement replaces two clock reads per group
 		// per window (the per-window pairs cost more than the windows
@@ -344,26 +446,41 @@ func (ce *CoupledEngine) Run() error {
 		defer func() { ce.loopBusy = time.Since(t0) }()
 	}
 	for {
-		minNext := timeMax
-		any := false
-		for _, sub := range ce.subs {
-			if at, ok := sub.NextAt(); ok && at < minNext {
-				minNext = at
-				any = true
-			}
-		}
-		if !any {
+		s0 := time.Now()
+		minNext := ce.tree.min()
+		if minNext == timeMax {
 			return ce.finish()
 		}
 		w1 := timeMax
 		if minNext <= timeMax-ce.lookahead {
 			w1 = minNext + ce.lookahead
 		}
+		ce.active = ce.tree.collect(w1, ce.active[:0])
+		ce.scanWall += time.Since(s0)
 		ce.windows++
-		if err := ce.window(w1); err != nil {
+		ce.dispatches += uint64(len(ce.active))
+		e0 := time.Now()
+		err := ce.window(w1)
+		e1 := time.Now()
+		ce.execWall += e1.Sub(e0)
+		// Dispatched groups re-publish their horizons; undisturbed
+		// groups keep their published value (nothing else may touch a
+		// group's queue outside its own window or the barrier).
+		for _, g := range ce.active {
+			at, ok := ce.subs[g].NextAt()
+			if !ok {
+				at = timeMax
+			}
+			ce.tree.update(int(g), at)
+		}
+		ce.scanWall += time.Since(e1)
+		if err != nil {
 			return err
 		}
-		if err := ce.applyDeferred(); err != nil {
+		b0 := time.Now()
+		err = ce.applyDeferred()
+		ce.barrierWall += time.Since(b0)
+		if err != nil {
 			return err
 		}
 		if err := ce.firstErr(); err != nil {
@@ -375,97 +492,264 @@ func (ce *CoupledEngine) Run() error {
 	}
 }
 
-// window executes one conservative window on every group. With one
-// worker the groups run inline (panics propagate natively); with more,
-// each group runs on its own goroutine — capped at `workers` in
-// flight — and a worker panic is re-raised on the caller's goroutine
-// so recovery semantics match the sequential engine at every worker
-// count.
+// window executes one conservative window on every active group. With
+// one worker (or one active group) the groups run inline; with more,
+// the persistent pool workers pull group indices from the shared
+// cursor, and a worker panic is re-raised on the caller's goroutine so
+// recovery semantics match the sequential engine at every worker
+// count. Error and panic selection is by ascending group index —
+// identical at every worker count — and each group's deferred-op run
+// is pre-sorted by whoever executed it, in parallel under the pool.
 func (ce *CoupledEngine) window(w1 Time) error {
+	active := ce.active
 	if ce.workers <= 1 {
-		for _, sub := range ce.subs {
-			if err := sub.RunBefore(w1); err != nil {
+		for _, g := range active {
+			if err := ce.subs[g].RunBefore(w1); err != nil {
 				return err
 			}
+			sortOps(ce.ops[g])
 		}
 		return nil
 	}
-	if ce.wsem == nil {
-		ce.werrs = make([]error, len(ce.subs))
-		ce.wpanics = make([]any, len(ce.subs))
-		ce.wsem = make(chan struct{}, ce.workers)
+	if len(active) == 1 {
+		// One eligible group: skip the pool handshake. Inline panics
+		// propagate natively — observably identical to the pool's
+		// recover/re-raise.
+		g := active[0]
+		t0 := time.Now()
+		err := ce.subs[g].RunBefore(w1)
+		if err == nil {
+			sortOps(ce.ops[g])
+		}
+		ce.busy[g] += time.Since(t0)
+		return err
 	}
-	var wg sync.WaitGroup
-	errs, panics, sem := ce.werrs, ce.wpanics, ce.wsem
-	for g := range ce.subs {
-		errs[g], panics[g] = nil, nil
+	ce.w1 = w1
+	ce.cursor.Store(0)
+	for _, ch := range ce.wstart {
+		ch <- struct{}{}
 	}
-	for g := range ce.subs {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			defer func() {
-				if r := recover(); r != nil {
-					panics[g] = r
-				}
-			}()
-			t0 := time.Now()
-			errs[g] = ce.subs[g].RunBefore(w1)
-			ce.busy[g] += time.Since(t0)
-		}(g)
+	for range ce.wstart {
+		<-ce.wdone
 	}
-	wg.Wait()
-	for _, r := range panics {
-		if r != nil {
+	for _, g := range active {
+		if r := ce.wpanics[g]; r != nil {
 			panic(r)
 		}
 	}
-	for _, err := range errs {
-		if err != nil {
+	for _, g := range active {
+		if err := ce.werrs[g]; err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// applyDeferred is the window barrier: it drains every group's
-// deferred ops, applies them single-threaded in (at, key) order, and
-// repeats until no op remains (an op may defer follow-ups).
-func (ce *CoupledEngine) applyDeferred() error {
-	for {
-		batch := ce.batch[:0]
-		for g := range ce.ops {
-			batch = append(batch, ce.ops[g]...)
-			ce.ops[g] = ce.ops[g][:0]
+// startPool launches the persistent window workers. Workers park on
+// their start channels between windows and exit when Run closes them.
+func (ce *CoupledEngine) startPool() {
+	ce.werrs = make([]error, len(ce.subs))
+	ce.wpanics = make([]any, len(ce.subs))
+	ce.wdone = make(chan struct{}, ce.workers)
+	ce.wstart = make([]chan struct{}, ce.workers)
+	for w := range ce.wstart {
+		ce.wstart[w] = make(chan struct{}, 1)
+		go ce.poolWorker(ce.wstart[w])
+	}
+}
+
+// stopPool retires the workers (deferred from Run, so the pool dies
+// with the run whether it completed, errored, or panicked).
+func (ce *CoupledEngine) stopPool() {
+	for _, ch := range ce.wstart {
+		close(ch)
+	}
+}
+
+// poolWorker is one persistent window worker: per start token it
+// drains the shared cursor over the active set, then reports done.
+func (ce *CoupledEngine) poolWorker(start chan struct{}) {
+	for range start {
+		for {
+			i := ce.cursor.Add(1) - 1
+			if i >= int64(len(ce.active)) {
+				break
+			}
+			ce.runGroup(int(ce.active[i]))
 		}
-		ce.batch = batch // keep any growth for the next window
-		if len(batch) == 0 {
+		ce.wdone <- struct{}{}
+	}
+}
+
+// runGroup executes one group's window on the calling worker. The
+// per-group error/panic slots are reset here — only for dispatched
+// groups, folded into the dispatch itself — and the busy timer starts
+// after the queue handoff, so pool wait time is never charged to the
+// group and busy/wall ratios stay meaningful.
+func (ce *CoupledEngine) runGroup(g int) {
+	t0 := time.Now()
+	ce.werrs[g], ce.wpanics[g] = nil, nil
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ce.wpanics[g] = r
+			}
+		}()
+		ce.werrs[g] = ce.subs[g].RunBefore(ce.w1)
+	}()
+	if ce.werrs[g] == nil && ce.wpanics[g] == nil {
+		// Pre-sort this group's deferred run for the merge barrier —
+		// on the worker, so the sort parallelizes with other groups'
+		// execution instead of serializing at the barrier.
+		sortOps(ce.ops[g])
+	}
+	ce.busy[g] += time.Since(t0)
+}
+
+// sortOps orders one deferred-op run by (at, key). Keys embed each
+// sender's monotone counter, so pairs are unique and the unstable
+// sort is still a total order.
+func sortOps(ops []deferredOp) {
+	if len(ops) < 2 {
+		return
+	}
+	slices.SortFunc(ops, func(a, b deferredOp) int {
+		switch {
+		case a.at != b.at:
+			if a.at < b.at {
+				return -1
+			}
+			return 1
+		case a.key < b.key:
+			return -1
+		case a.key > b.key:
+			return 1
+		}
+		return 0
+	})
+}
+
+// takeRun detaches group g's deferred run for merging and installs
+// the group's back buffer (emptied) as the new front, so follow-up
+// Defers during the merge land in fresh storage while the detached
+// run is iterated. Both buffers persist across windows — the
+// steady-state barrier allocates nothing.
+func (ce *CoupledEngine) takeRun(g int) []deferredOp {
+	r := ce.ops[g]
+	ce.ops[g] = ce.opsBack[g][:0]
+	ce.opsBack[g] = r
+	return r
+}
+
+// applyDeferred is the window barrier: it merges every active group's
+// pre-sorted deferred run and applies the ops single-threaded in
+// (at, key) order, repeating until no op remains (an op may defer
+// follow-ups). Only the window's active groups — plus groups that
+// deferred during the barrier itself — are consulted; idle groups are
+// never scanned.
+func (ce *CoupledEngine) applyDeferred() error {
+	cand := ce.active
+	for round := 0; ; round++ {
+		runs := ce.runs[:0]
+		for _, g := range cand {
+			if len(ce.ops[g]) == 0 {
+				continue // empty, or a duplicate candidate already taken
+			}
+			r := ce.takeRun(int(g))
+			if round > 0 {
+				// Barrier-emitted follow-ups arrive in barrier order,
+				// not (at, key) order: sort before merging.
+				sortOps(r)
+			}
+			runs = append(runs, r)
+		}
+		ce.runs = runs // keep any growth for the next window
+		if len(runs) == 0 {
 			return nil
 		}
-		// (at, key) pairs are unique — key embeds the sender's monotone
-		// counter — so the unstable sort is still a total order.
-		slices.SortFunc(batch, func(a, b deferredOp) int {
-			switch {
-			case a.at != b.at:
-				if a.at < b.at {
-					return -1
-				}
-				return 1
-			case a.key < b.key:
-				return -1
-			case a.key > b.key:
-				return 1
-			}
-			return 0
-		})
-		for i := range batch {
-			batch[i].run()
-		}
+		ce.bops = ce.bops[:0]
+		ce.inBarrier = true
+		ce.mergeExec(runs)
+		ce.inBarrier = false
 		if err := ce.firstErr(); err != nil {
 			return err
 		}
+		// Follow-up candidates are copied out of the collector so the
+		// next round can reset it without aliasing its own input.
+		ce.bscratch = append(ce.bscratch[:0], ce.bops...)
+		cand = ce.bscratch
+	}
+}
+
+// mergeEnt is one run head inside the barrier's k-way merge heap.
+type mergeEnt struct {
+	at  Time
+	key uint64
+	run int32
+}
+
+func mergeLess(a, b *mergeEnt) bool {
+	return a.at < b.at || (a.at == b.at && a.key < b.key)
+}
+
+// mergeExec applies the runs' ops in globally ascending (at, key)
+// order via a k-way merge: a binary heap holds each run's head, and
+// every pop advances one run. Comparisons are O(n log k) against the
+// retired full sort's O(n log n), and — unlike the full sort — the
+// per-run ordering work already happened on the window workers.
+func (ce *CoupledEngine) mergeExec(runs [][]deferredOp) {
+	if len(runs) == 1 {
+		for i := range runs[0] {
+			runs[0][i].run()
+		}
+		return
+	}
+	pos := ce.mergePos[:0]
+	hp := ce.mergeHp[:0]
+	for r := range runs {
+		op := &runs[r][0]
+		hp = append(hp, mergeEnt{at: op.at, key: op.key, run: int32(r)})
+		pos = append(pos, 0)
+	}
+	ce.mergePos, ce.mergeHp = pos, hp
+	// Heapify (sift-down from the last parent).
+	for i := len(hp)/2 - 1; i >= 0; i-- {
+		mergeSiftDown(hp, i)
+	}
+	for len(hp) > 0 {
+		r := hp[0].run
+		op := &runs[r][pos[r]]
+		pos[r]++
+		if int(pos[r]) < len(runs[r]) {
+			nxt := &runs[r][pos[r]]
+			hp[0] = mergeEnt{at: nxt.at, key: nxt.key, run: r}
+		} else {
+			hp[0] = hp[len(hp)-1]
+			hp = hp[:len(hp)-1]
+		}
+		if len(hp) > 1 {
+			mergeSiftDown(hp, 0)
+		}
+		op.run()
+	}
+}
+
+// mergeSiftDown restores the binary-heap order below node i.
+func mergeSiftDown(hp []mergeEnt, i int) {
+	n := len(hp)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if c+1 < n && mergeLess(&hp[c+1], &hp[c]) {
+			c++
+		}
+		if !mergeLess(&hp[c], &hp[i]) {
+			return
+		}
+		hp[i], hp[c] = hp[c], hp[i]
+		i = c
 	}
 }
 

@@ -68,6 +68,25 @@ func BenchmarkEngineShardedPhold(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineCoupledWindows measures the coupled engine's window
+// loop on the prepared-closure token storm (64 single-rank groups) at
+// 1, 2, and 4 workers. Steady state must stay at 0 allocs/op — the
+// dispatch path (persistent pool, active-set collection, min-tree
+// maintenance) and the barrier (pooled runs, k-way merge) reuse all
+// storage across windows; ci.yml gates on it. On single-core runners
+// compare busy/wall from TestRecordWindowEngine instead of ns/event.
+func BenchmarkEngineCoupledWindows(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			ce := simbench.CoupledWindows(64, workers, b.N, 1)
+			if ev := ce.Executed(); ev > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(ev), "ns/event")
+			}
+		})
+	}
+}
+
 // BenchmarkEngineBroadcast measures fan-out wakeups: 32 waiters woken
 // together per round.
 func BenchmarkEngineBroadcast(b *testing.B) {

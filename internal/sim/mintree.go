@@ -1,0 +1,94 @@
+package sim
+
+// minTree is a 4-ary tournament tree over per-group next-event times:
+// leaf g holds group g's NextAt (timeMax when the group is idle) and
+// every internal node holds the minimum of its children, so the root
+// is the global window horizon. It replaces the O(G) NextAt scan the
+// coupled engine used to run per window: after a window only the
+// groups that executed (or received barrier ops) re-publish their
+// horizon, each an O(log₄ G) path update, and the set of groups that
+// must run in the next window is enumerated by descending only the
+// subtrees whose minimum beats the window bound — O(A·log₄ G) for A
+// active groups instead of O(G).
+type minTree struct {
+	n    int    // leaf (group) count
+	base int    // index of leaf 0 (= internal node count)
+	vals []Time // tree nodes; padding leaves beyond n stay timeMax
+}
+
+// init sizes the tree for n groups: the leaf level is the smallest
+// power of four >= n so every internal node has exactly four children.
+func (t *minTree) init(n int) {
+	leaves := 1
+	for leaves < n {
+		leaves <<= 2
+	}
+	t.n = n
+	t.base = (leaves - 1) / 3
+	t.vals = make([]Time, t.base+leaves)
+	for i := range t.vals {
+		t.vals[i] = timeMax
+	}
+}
+
+// min returns the smallest published horizon (timeMax when every
+// group is idle).
+func (t *minTree) min() Time { return t.vals[0] }
+
+// get returns group g's published horizon.
+func (t *minTree) get(g int) Time { return t.vals[t.base+g] }
+
+// update publishes group g's horizon and re-mins the ancestor path.
+func (t *minTree) update(g int, at Time) {
+	i := t.base + g
+	if t.vals[i] == at {
+		return
+	}
+	t.vals[i] = at
+	for i > 0 {
+		p := (i - 1) >> 2
+		c := p<<2 + 1
+		m := t.vals[c]
+		if v := t.vals[c+1]; v < m {
+			m = v
+		}
+		if v := t.vals[c+2]; v < m {
+			m = v
+		}
+		if v := t.vals[c+3]; v < m {
+			m = v
+		}
+		if t.vals[p] == m {
+			return // ancestors already agree
+		}
+		t.vals[p] = m
+		i = p
+	}
+}
+
+// collect appends (in ascending group order) every group whose
+// published horizon is strictly below w1 — the active set of the next
+// conservative window. Subtrees whose minimum is >= w1 are pruned
+// without touching their leaves, so idle groups cost nothing.
+func (t *minTree) collect(w1 Time, dst []int32) []int32 {
+	if t.vals[0] >= w1 {
+		return dst
+	}
+	return t.walk(0, w1, dst)
+}
+
+func (t *minTree) walk(i int, w1 Time, dst []int32) []int32 {
+	if i >= t.base {
+		if g := i - t.base; g < t.n {
+			dst = append(dst, int32(g))
+		}
+		return dst
+	}
+	c := i<<2 + 1
+	for j := c; j < c+4; j++ {
+		if t.vals[j] < w1 {
+			dst = t.walk(j, w1, dst)
+		}
+	}
+	return dst
+}

@@ -183,6 +183,85 @@ func NewShardedPhold(ranks, shards, events int, seed uint64) (*sim.ShardedEngine
 	return e, nil
 }
 
+// CoupledWindows is the coupled-engine window-loop workload: a
+// PHOLD-style token storm over `groups` single-rank node groups on
+// the CoupledEngine, built so the steady-state dispatch/barrier path
+// allocates nothing. Every closure the storm needs (one event fn and
+// one barrier op fn per group) is prepared up front; an event on group
+// g defers g's op, and the op — running single-threaded at the window
+// barrier in (at, key) order — draws the next destination and jitter
+// from g's own LCG stream and re-arms the destination's event with
+// ce.At. Each hop is delayed at least the lookahead, so scheduling is
+// always window-legal, and all shared state (the hop budget, the LCG
+// streams) mutates only in barrier order — the storm is deterministic
+// and worker-count-invariant by construction. Roughly `events` events
+// are dispatched; panics on engine errors.
+func CoupledWindows(groups, workers, events int, seed uint64) *sim.CoupledEngine {
+	ce, err := NewCoupledWindows(groups, workers, events, seed)
+	if err != nil {
+		panic(err)
+	}
+	if err := ce.Run(); err != nil {
+		panic(err)
+	}
+	return ce
+}
+
+// NewCoupledWindows builds the coupled window workload without running
+// it, for callers that want to time Run itself.
+func NewCoupledWindows(groups, workers, events int, seed uint64) (*sim.CoupledEngine, error) {
+	groupOf := make([]int, groups)
+	for g := range groupOf {
+		groupOf[g] = g
+	}
+	const lookahead = 2 * sim.Microsecond
+	ce, err := sim.NewCoupled(groupOf, lookahead, workers)
+	if err != nil {
+		return nil, err
+	}
+	// Per-group LCG streams, consumed only from barrier ops (total
+	// order), so every draw sequence is worker-count-invariant.
+	rng := make([]uint64, groups)
+	for g := range rng {
+		rng[g] = seed*0x9e3779b97f4a7c15 + uint64(g)*0xbf58476d1ce4e5b9 + 1
+	}
+	step := func(g int) uint64 {
+		s := rng[g]*6364136223846793005 + 1442695040888963407
+		rng[g] = s
+		return s >> 17
+	}
+	hopsLeft := events
+	evFns := make([]func(), groups)
+	opFns := make([]func(), groups)
+	for g := range opFns {
+		g := g
+		opFns[g] = func() {
+			if hopsLeft <= 0 {
+				return // token retires
+			}
+			hopsLeft--
+			dst := int(step(g) % uint64(groups))
+			at := ce.Sub(g).Now() + lookahead + sim.Time(step(g)%1024)*sim.Nanosecond
+			ce.At(dst, at, evFns[dst])
+		}
+		evFns[g] = func() {
+			ce.Defer(g, ce.Sub(g).Now(), opFns[g])
+		}
+	}
+	tokens := groups / 2
+	if tokens > events {
+		tokens = events
+	}
+	if tokens < 1 {
+		tokens = 1
+	}
+	for t := 0; t < tokens; t++ {
+		g := t % groups
+		ce.Sub(g).At(sim.Time(t%977)*sim.Nanosecond, evFns[g])
+	}
+	return ce, nil
+}
+
 // Broadcast is the fan-out workload: `procs` waiters park on one
 // condition and a driver broadcasts n times; every round wakes all
 // waiters at the same timestamp.
